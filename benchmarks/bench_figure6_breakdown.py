@@ -1,0 +1,77 @@
+"""Figure 6: execution-time breakdown of LogTM-SE (L), FasTM (F) and
+SUV-TM (S) across the STAMP suite, normalized to LogTM-SE, plus the
+Section I headline speedups (56%/95% over LogTM-SE, 9%/12% over FasTM
+in the paper)."""
+
+from conftest import F, L, S, emit, geomean
+from repro.stats.breakdown import COMPONENTS
+from repro.stats.charts import breakdown_chart
+from repro.stats.report import format_table
+from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES
+
+
+def test_figure6_breakdown(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in WORKLOAD_NAMES:
+            for scheme in (L, F, S):
+                results[(app, scheme)] = sim_cache.run(app, scheme)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in WORKLOAD_NAMES:
+        base = results[(app, L)].breakdown.total or 1
+        for scheme, label in ((L, "L"), (F, "F"), (S, "S")):
+            res = results[(app, scheme)]
+            norm = res.breakdown.normalized_to(base)
+            rows.append([
+                app if label == "L" else "", label,
+                *(f"{norm[c]:.3f}" for c in COMPONENTS),
+                f"{res.breakdown.total / base:.3f}",
+            ])
+    table = format_table(
+        ["app", "scheme", *COMPONENTS, "total"],
+        rows,
+        title="Figure 6 — execution-time breakdown normalized to "
+              "LogTM-SE (L=LogTM-SE, F=FasTM, S=SUV-TM)",
+    )
+
+    # the figure itself, as stacked bars
+    charts = []
+    for app in WORKLOAD_NAMES:
+        charts.append(breakdown_chart(
+            {
+                f"{app}/L": results[(app, L)].breakdown,
+                f"{app}/F": results[(app, F)].breakdown,
+                f"{app}/S": results[(app, S)].breakdown,
+            },
+            baseline=f"{app}/L",
+        ))
+
+    # headline speedups (execution-time ratios, geometric mean)
+    lines = [table, "", *charts, ""]
+    for label, apps in (("all 8 applications", WORKLOAD_NAMES),
+                        ("5 high-contention", HIGH_CONTENTION)):
+        over_l = geomean([
+            results[(a, L)].total_cycles / results[(a, S)].total_cycles
+            for a in apps
+        ])
+        over_f = geomean([
+            results[(a, F)].total_cycles / results[(a, S)].total_cycles
+            for a in apps
+        ])
+        lines.append(
+            f"SUV-TM speedup ({label}): {over_l:.2f}x over LogTM-SE, "
+            f"{over_f:.2f}x over FasTM "
+            f"(paper: {'1.56x / 1.09x' if len(apps) == 8 else '1.95x / 1.12x'})"
+        )
+    emit("figure6_breakdown", "\n".join(lines))
+
+    # the paper's ordering must hold
+    for app in WORKLOAD_NAMES:
+        assert results[(app, S)].total_cycles <= results[(app, L)].total_cycles, (
+            f"SUV slower than LogTM-SE on {app}"
+        )

@@ -1,0 +1,68 @@
+"""Figure 7: sensitivity of SUV-TM to the first-level redirect-table
+size — (a) L1-table miss rate, (b) total execution time — on the
+coarse-grained applications.  The paper finds a 512-entry table reaches
+a high hit rate and that scaling beyond 512 barely helps."""
+
+from conftest import S, bench_config, emit
+from repro.config import RedirectConfig
+from repro.stats.report import format_table
+
+SIZES = (64, 128, 256, 512, 1024, 2048)
+APPS = ("yada", "bayes")
+
+
+def test_figure7_l1_table_size(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in APPS:
+            for size in SIZES:
+                cfg = bench_config(redirect=RedirectConfig(l1_entries=size))
+                results[(app, size)] = sim_cache.run(
+                    app, S, config=cfg, config_key=("l1_entries", size)
+                )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in APPS:
+        base = results[(app, 512)].total_cycles
+        for size in SIZES:
+            res = results[(app, size)]
+            st = res.scheme_stats
+            rows.append([
+                app if size == SIZES[0] else "", size,
+                f"{st['table_l1_miss_rate']:.3f}",
+                res.total_cycles,
+                f"{res.total_cycles / base:.3f}",
+            ])
+    from repro.stats.charts import line_plot
+
+    table = format_table(
+        ["app", "L1-table entries", "miss rate", "exec cycles",
+         "vs 512-entry"],
+        rows,
+        title="Figure 7 — first-level redirect-table size sensitivity "
+              "(SUV-TM)",
+    )
+    plots = [
+        line_plot(
+            [(float(size), float(results[(app, size)].total_cycles))
+             for size in SIZES],
+            title=f"Figure 7(b) {app}: exec cycles vs L1-table entries",
+            x_label="entries",
+        )
+        for app in APPS
+    ]
+    emit("figure7_l1table", "\n\n".join([table, *plots]))
+
+    # the paper's knee: beyond 512 entries the gain is marginal
+    for app in APPS:
+        t512 = results[(app, 512)].total_cycles
+        t2048 = results[(app, 2048)].total_cycles
+        assert t2048 >= 0.9 * t512, f"{app}: >10% gain beyond 512 entries"
+        # and miss rate falls monotonically-ish with size
+        m64 = results[(app, 64)].scheme_stats["table_l1_miss_rate"]
+        m1024 = results[(app, 1024)].scheme_stats["table_l1_miss_rate"]
+        assert m1024 <= m64

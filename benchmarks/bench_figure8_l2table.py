@@ -1,0 +1,103 @@
+"""Figure 8: sensitivity of SUV-TM to the second-level redirect table —
+(a) table size (paper: gains vanish beyond 16K entries), (b) access
+latency (paper: execution time rises sharply beyond 10 cycles, and a
+zero-latency L2 table would improve things by less than 5%)."""
+
+from conftest import S, bench_config, emit
+from repro.config import RedirectConfig
+from repro.stats.report import format_table
+
+SIZES = (1024, 4096, 16384, 65536)
+LATENCIES = (0, 5, 10, 20, 40)
+APPS = ("yada", "bayes")
+
+
+def test_figure8a_l2_table_size(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in APPS:
+            for size in SIZES:
+                cfg = bench_config(redirect=RedirectConfig(l2_entries=size))
+                results[(app, size)] = sim_cache.run(
+                    app, S, config=cfg, config_key=("l2_entries", size)
+                )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in APPS:
+        base = results[(app, 16384)].total_cycles
+        for size in SIZES:
+            res = results[(app, size)]
+            rows.append([
+                app if size == SIZES[0] else "", size, res.total_cycles,
+                f"{res.total_cycles / base:.3f}",
+                int(res.scheme_stats["table_l2_overflows"]),
+            ])
+    emit("figure8a_l2size", format_table(
+        ["app", "L2-table entries", "exec cycles", "vs 16K", "L2 ovf"],
+        rows,
+        title="Figure 8(a) — second-level redirect-table size sensitivity",
+    ))
+
+    for app in APPS:
+        t16k = results[(app, 16384)].total_cycles
+        t64k = results[(app, 65536)].total_cycles
+        assert t64k >= 0.95 * t16k, f"{app}: >5% gain beyond 16K entries"
+
+
+def test_figure8b_l2_table_latency(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in APPS:
+            for lat in LATENCIES:
+                cfg = bench_config(redirect=RedirectConfig(l2_latency=lat))
+                results[(app, lat)] = sim_cache.run(
+                    app, S, config=cfg, config_key=("l2_latency", lat)
+                )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in APPS:
+        base = results[(app, 10)].total_cycles
+        for lat in LATENCIES:
+            res = results[(app, lat)]
+            rows.append([
+                app if lat == LATENCIES[0] else "", lat, res.total_cycles,
+                f"{res.total_cycles / base:.3f}",
+            ])
+    from repro.stats.charts import line_plot
+
+    table = format_table(
+        ["app", "L2-table latency (cycles)", "exec cycles", "vs 10-cycle"],
+        rows,
+        title="Figure 8(b) — second-level redirect-table latency "
+              "sensitivity",
+    )
+    plots = [
+        line_plot(
+            [(float(lat), float(results[(app, lat)].total_cycles))
+             for lat in LATENCIES],
+            title=f"Figure 8(b) {app}: exec cycles vs L2-table latency",
+            x_label="cycles",
+        )
+        for app in APPS
+    ]
+    emit("figure8b_l2latency", "\n\n".join([table, *plots]))
+
+    for app in APPS:
+        t0 = results[(app, 0)].total_cycles
+        t10 = results[(app, 10)].total_cycles
+        t40 = results[(app, 40)].total_cycles
+        # the paper's qualitative shape: execution time rises sharply
+        # beyond 10 cycles, and the 0→10 step costs much less than the
+        # 10→40 step.  (Our scaled inputs show a steeper 0→10 gradient
+        # than the paper's <5% because lookups are less amortized over
+        # the shorter transactions — see EXPERIMENTS.md.)
+        assert t40 > 1.15 * t10, f"{app}: no sharp rise beyond 10 cycles"
+        assert (t10 - t0) < (t40 - t10), f"{app}: knee not at 10 cycles"

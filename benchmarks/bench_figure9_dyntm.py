@@ -1,0 +1,51 @@
+"""Figure 9: original DynTM (D, FasTM-based version management) versus
+DynTM with SUV as its version-management scheme (D+S), including the
+Committing component of the lazy mode.  Paper: D+S is 9.8% faster over
+all 8 applications and 18.6% over the 5 high-contention ones."""
+
+from conftest import D, DS, emit, geomean
+from repro.stats.breakdown import COMPONENTS
+from repro.stats.report import format_table
+from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES
+
+
+def test_figure9_dyntm(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in WORKLOAD_NAMES:
+            for scheme in (D, DS):
+                results[(app, scheme)] = sim_cache.run(app, scheme)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in WORKLOAD_NAMES:
+        base = results[(app, D)].breakdown.total or 1
+        for scheme, label in ((D, "D"), (DS, "D+S")):
+            res = results[(app, scheme)]
+            norm = res.breakdown.normalized_to(base)
+            rows.append([
+                app if label == "D" else "", label,
+                *(f"{norm[c]:.3f}" for c in COMPONENTS),
+                f"{res.breakdown.total / base:.3f}",
+            ])
+    table = format_table(
+        ["app", "scheme", *COMPONENTS, "total"],
+        rows,
+        title="Figure 9 — DynTM (D) vs DynTM+SUV (D+S), normalized to D",
+    )
+
+    lines = [table, ""]
+    for label, apps in (("all 8 applications", WORKLOAD_NAMES),
+                        ("5 high-contention", HIGH_CONTENTION)):
+        speed = geomean([
+            results[(a, D)].total_cycles / results[(a, DS)].total_cycles
+            for a in apps
+        ])
+        paper = "1.098x" if len(apps) == 8 else "1.186x"
+        lines.append(
+            f"DynTM+SUV speedup ({label}): {speed:.3f}x (paper: {paper})"
+        )
+    emit("figure9_dyntm", "\n".join(lines))

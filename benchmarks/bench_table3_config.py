@@ -1,0 +1,42 @@
+"""Table III: the simulated CMP configuration actually in force."""
+
+from conftest import emit
+from repro.config import SimConfig
+from repro.stats.report import format_table
+
+
+def test_table3_configuration(benchmark):
+    cfg = benchmark.pedantic(SimConfig, rounds=1, iterations=1)
+    rows = [
+        ("Processor cores", f"{cfg.n_cores} x {cfg.clock_ghz} GHz in-order"),
+        ("L1 cache", f"{cfg.l1.size_bytes >> 10} KB {cfg.l1.ways}-way, "
+                     f"{cfg.l1.line_bytes}-byte line, "
+                     f"{cfg.l1.latency}-cycle latency"),
+        ("L2 cache", f"{cfg.l2.size_bytes >> 20} MB {cfg.l2.ways}-way, "
+                     f"{cfg.l2.latency}-cycle latency"),
+        ("Main memory", f"{cfg.memory.size_bytes >> 30} GB, "
+                        f"{cfg.memory.banks} banks, "
+                        f"{cfg.memory.latency}-cycle latency"),
+        ("L2 directory", f"bit vector of sharers, "
+                         f"{cfg.directory.latency}-cycle latency"),
+        ("Interconnect", f"mesh, {cfg.mesh.wire_latency}-cycle wire, "
+                         f"{cfg.mesh.route_latency}-cycle route"),
+        ("Signatures", f"{cfg.signature.bits // 1024} Kbit Bloom filters"),
+        ("1st-level table", f"{cfg.redirect.l1_entries}-entry "
+                            f"{cfg.redirect.l1_latency}-latency "
+                            "fully associative"),
+        ("2nd-level table", f"{cfg.redirect.l2_latency}-cycle latency "
+                            f"{cfg.redirect.l2_entries}-entry "
+                            f"{cfg.redirect.l2_ways}-way shared"),
+    ]
+    emit("table3_config", format_table(
+        ["parameter", "value"], rows,
+        title="Table III — configuration of the simulated CMP system",
+    ))
+    # the defaults must be the paper's
+    assert cfg.n_cores == 16 and cfg.clock_ghz == 1.2
+    assert cfg.l1.size_bytes == 32 << 10 and cfg.l1.ways == 4
+    assert cfg.l2.size_bytes == 8 << 20 and cfg.l2.latency == 15
+    assert cfg.memory.latency == 150 and cfg.directory.latency == 6
+    assert cfg.redirect.l1_entries == 512
+    assert cfg.redirect.l2_entries == 16384 and cfg.redirect.l2_latency == 10

@@ -1,0 +1,54 @@
+"""Table IV: workload characteristics — measured transaction length and
+contention class of each application as our scaled inputs produce them."""
+
+from conftest import S, emit
+from repro.stats.report import format_table
+from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES, make_workload
+
+#: the paper's reported mean transaction lengths (instructions)
+PAPER_LENGTH = {
+    "bayes": "43K", "genome": "1.7K", "intruder": "237", "kmeans": "106",
+    "labyrinth": "317K", "ssca2": "21", "vacation": "2.1K", "yada": "6.8K",
+}
+
+
+def test_table4_characteristics(benchmark, sim_cache):
+    results = {}
+
+    def run_all():
+        for app in WORKLOAD_NAMES:
+            results[app] = sim_cache.run(app, S)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for app in WORKLOAD_NAMES:
+        res = results[app]
+        mean_len = (res.breakdown.cycles["Trans"] / res.commits
+                    if res.commits else 0)
+        prog = make_workload(app, n_threads=2, scale="small")
+        rows.append([
+            app,
+            f"{mean_len:,.0f}",
+            PAPER_LENGTH[app],
+            prog.contention,
+            "high" if app in HIGH_CONTENTION else "low",
+            f"{res.abort_ratio:.1%}",
+        ])
+    emit("table4_workloads", format_table(
+        ["app", "mean tx length (cycles)", "paper length (insns)",
+         "contention", "paper contention", "abort ratio (SUV)"],
+        rows,
+        title="Table IV — workload characteristics as measured",
+    ))
+
+    # relative ordering of transaction lengths must match the paper:
+    # labyrinth and bayes the longest, ssca2 and kmeans the shortest
+    lengths = {
+        app: results[app].breakdown.cycles["Trans"] / max(results[app].commits, 1)
+        for app in WORKLOAD_NAMES
+    }
+    assert lengths["labyrinth"] > lengths["intruder"]
+    assert lengths["bayes"] > lengths["kmeans"]
+    assert lengths["yada"] > lengths["ssca2"]

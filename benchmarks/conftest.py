@@ -1,0 +1,96 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Every paper table/figure has one bench module.  Simulation results are
+cached per (workload, scheme, scale, seed, config-overrides) for the
+whole pytest session so figures that share runs (e.g. Figure 6 and
+Table I) don't recompute them.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — ``tiny`` | ``small`` (default) | ``full``.
+  ``full`` gets closest to the paper's inputs (notably the L1-cache
+  overflow behaviour of Table V) but takes tens of minutes.
+* ``REPRO_BENCH_SEED`` — RNG seed (default 3).
+
+Each bench prints its regenerated table and also appends it to
+``benchmarks/results/<name>.txt`` so the artefacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.config import HTMConfig, SimConfig
+from repro.simulator import SimResult, Simulator
+from repro.workloads import make_workload
+
+
+def bench_config(**kw) -> SimConfig:
+    """The Table III CMP with realistic thread-launch skew."""
+    kw.setdefault("htm", HTMConfig(start_stagger=512))
+    return SimConfig(**kw)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "3"))
+
+#: the paper's scheme labels
+L, F, S, D, DS = "logtm-se", "fastm", "suv", "dyntm", "dyntm+suv"
+
+
+class SimCache:
+    """Memoized simulation runner shared across bench modules."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, SimResult] = {}
+
+    def run(
+        self,
+        workload: str,
+        scheme: str,
+        scale: str = SCALE,
+        seed: int = SEED,
+        config: SimConfig | None = None,
+        config_key: tuple = (),
+        verify: bool = True,
+    ) -> SimResult:
+        key = (workload, scheme, scale, seed, config_key)
+        if key in self._cache:
+            return self._cache[key]
+        cfg = config or bench_config()
+        program = make_workload(workload, n_threads=cfg.n_cores, seed=seed,
+                                scale=scale)
+        sim = Simulator(cfg, scheme=scheme, seed=seed)
+        result = sim.run(program.threads, max_events=1_000_000_000)
+        if verify:
+            program.verify(result.memory)
+        self._cache[key] = result
+        return result
+
+
+_session_cache = SimCache()
+
+
+@pytest.fixture(scope="session")
+def sim_cache() -> SimCache:
+    return _session_cache
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def geomean(values: list[float]) -> float:
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1 / len(values)) if values else 0.0

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Compare every version-management scheme on one workload.
+
+Usage::
+
+    python examples/compare_schemes.py [workload] [scale]
+
+Reproduces, for a single application, what the paper's Figure 6 and
+Figure 9 do across the whole suite: normalized execution-time breakdowns
+for LogTM-SE, FasTM, SUV-TM, DynTM and DynTM+SUV, plus headline
+speedups.
+"""
+
+import sys
+
+from repro import SimConfig, Simulator
+from repro.stats.report import format_breakdown_table
+from repro.workloads import make_workload
+
+SCHEMES = ("logtm-se", "fastm", "suv", "dyntm", "dyntm+suv")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "genome"
+    scale = sys.argv[2] if len(sys.argv) > 2 else "small"
+    config = SimConfig()
+
+    results = {}
+    for scheme in SCHEMES:
+        program = make_workload(name, n_threads=config.n_cores, seed=7,
+                                scale=scale)
+        sim = Simulator(config, scheme=scheme, seed=7)
+        res = sim.run(program.threads)
+        program.verify(res.memory)
+        results[scheme] = res
+        print(f"{scheme:10s} {res.total_cycles:>12,} cycles   "
+              f"{res.commits} commits / {res.aborts} aborts")
+
+    print()
+    print(format_breakdown_table(
+        {k: v.breakdown for k, v in results.items()},
+        baseline="logtm-se",
+        title=f"{name} — breakdown normalized to LogTM-SE "
+              f"(cf. paper Figures 6 and 9)",
+    ))
+
+    suv = results["suv"]
+    print(f"\nSUV speedup over LogTM-SE : "
+          f"{suv.speedup_over(results['logtm-se']):.2f}x")
+    print(f"SUV speedup over FasTM    : "
+          f"{suv.speedup_over(results['fastm']):.2f}x")
+    print(f"DynTM+SUV over DynTM      : "
+          f"{results['dyntm+suv'].speedup_over(results['dyntm']):.2f}x")
+
+
+if __name__ == "__main__":
+    main()

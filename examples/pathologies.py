@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Demonstrate the repair and merge pathologies of paper Figure 1.
+
+Three transactions contend on a shared line while one of them carries a
+large write set:
+
+* under an **undo-log scheme (LogTM-SE)**, an abort walks the log in
+  software while the transaction's isolation stays held — neighbours
+  pile up behind it (*repair pathology*);
+* under a **redo/lazy scheme**, commit merges the write set into the
+  memory system while isolation stays held (*merge pathology*);
+* under **SUV**, both ends of a transaction are bit flips, so the
+  isolation window closes almost immediately.
+
+The script measures the isolation-window tail directly: the Aborting /
+Committing components and the Stalled time they induce in neighbours.
+"""
+
+from repro import SimConfig, Simulator
+from repro.config import HTMConfig
+from repro.htm.ops import Read, Tx, Work, Write
+from repro.stats.report import format_table
+
+SHARED = 0x9000
+BIG_SET = [0x40000 + i * 64 for i in range(96)]
+
+
+def big_writer():
+    """TX1: writes a large set, touches the shared line, runs long."""
+    def body():
+        yield Write(SHARED, 1)
+        for addr in BIG_SET:
+            yield Write(addr, 7)
+        yield Work(400)
+    yield Tx(body, site=1)
+
+
+def neighbour(delay):
+    """TX2/TX3: arrive mid-flight and touch the shared line."""
+    def thread():
+        def body():
+            v = yield Read(SHARED)
+            yield Write(SHARED, v + 1)
+        yield Work(delay)
+        yield Tx(body, site=2)
+    return thread
+
+
+def run(scheme: str, policy: str = "stall"):
+    config = SimConfig(n_cores=4, htm=HTMConfig(policy=policy))
+    sim = Simulator(config, scheme=scheme, seed=1)
+    res = sim.run([big_writer, neighbour(150), neighbour(300)])
+    return res
+
+
+def main() -> None:
+    rows = []
+    for scheme in ("logtm-se", "fastm", "suv", "lazy"):
+        # abort_requester forces TX1-style rollbacks so the repair cost
+        # is visible even in this tiny scenario
+        res = run(scheme, policy="abort_requester")
+        bd = res.breakdown.cycles
+        rows.append((
+            scheme, res.total_cycles, res.aborts,
+            bd["Aborting"], bd["Committing"], bd["Stalled"],
+        ))
+    print(format_table(
+        ["scheme", "total", "aborts", "Aborting", "Committing", "Stalled"],
+        rows,
+        title="Figure 1 pathologies: end-of-transaction processing "
+              "and the stalls it causes",
+    ))
+    print(
+        "\nReading the table: LogTM-SE pays the software undo walk in"
+        " 'Aborting' (repair pathology), the lazy scheme pays the merge in"
+        " 'Committing' (merge pathology), and SUV's bit-flip end keeps"
+        " both near zero, which also shrinks neighbours' 'Stalled' time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: run one STAMP-like workload under SUV-TM and read the results.
+
+Usage::
+
+    python examples/quickstart.py [workload] [scheme]
+
+Defaults to ``intruder`` under ``suv``.  Prints total execution time,
+the paper-style execution-time breakdown, scheme statistics, and — for
+SUV — the redirect-entry state machine of Table II.
+"""
+
+import sys
+
+from repro import SimConfig, Simulator
+from repro.core.redirect_entry import EntryState
+from repro.stats.report import format_table
+from repro.workloads import make_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "intruder"
+    scheme = sys.argv[2] if len(sys.argv) > 2 else "suv"
+
+    config = SimConfig()  # the paper's Table III CMP
+    program = make_workload(name, n_threads=config.n_cores, seed=42,
+                            scale="small")
+    print(f"running {name!r} ({program.contention} contention) on a "
+          f"{config.n_cores}-core CMP under {scheme} ...")
+
+    sim = Simulator(config, scheme=scheme, seed=42)
+    result = sim.run(program.threads)
+    program.verify(result.memory)   # the computed answer is checked!
+
+    print(f"\ntotal execution time : {result.total_cycles:,} cycles")
+    print(f"transactions         : {result.commits} committed, "
+          f"{result.aborts} aborted "
+          f"(abort ratio {result.abort_ratio:.1%})")
+
+    rows = [
+        (comp, cycles, f"{result.breakdown.fraction(comp):.1%}")
+        for comp, cycles in result.breakdown.as_dict().items()
+    ]
+    print()
+    print(format_table(["component", "cycles", "share"], rows,
+                       title="execution-time breakdown (all cores)"))
+
+    interesting = {
+        k: v for k, v in result.scheme_stats.items()
+        if v and not k.startswith("summary_")
+    }
+    print()
+    print(format_table(["statistic", "value"], sorted(interesting.items()),
+                       title=f"{scheme} statistics"))
+
+    if scheme == "suv":
+        print("\nredirect-entry states (paper Table II):")
+        for state in EntryState:
+            print(f"  global={state.global_bit} valid={state.valid_bit}  "
+                  f"{state.name:14s} commit→{state.committed().name:8s} "
+                  f"abort→{state.aborted().name}")
+
+
+if __name__ == "__main__":
+    main()

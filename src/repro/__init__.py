@@ -1,0 +1,28 @@
+"""repro — a reproduction of "SUV: A Novel Single-Update
+Version-Management Scheme for Hardware Transactional Memory Systems"
+(Yan, Jiang, Feng, Tian, Tan — IPDPS 2012).
+
+Quickstart::
+
+    from repro import SimConfig, Simulator
+    from repro.workloads import make_workload
+
+    program = make_workload("intruder", n_threads=16, seed=1)
+    result = Simulator(SimConfig(), scheme="suv").run(program.threads)
+    print(result.total_cycles, result.breakdown)
+"""
+
+from repro.config import SimConfig, default_config
+from repro.simulator import SimResult, Simulator
+from repro.stats.breakdown import Breakdown
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Breakdown",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "default_config",
+    "__version__",
+]

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run`` — simulate one workload under one scheme and print the
+  breakdown and scheme statistics.
+* ``compare`` — run several schemes on one workload and print the
+  Figure 6/9-style normalized comparison.
+* ``sweep`` — sweep one redirect-table parameter (Figure 7/8 style).
+* ``hwcost`` — print the Table VII / Section V-C hardware-cost report.
+* ``list`` — list workloads and schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import HTMConfig, RedirectConfig, SimConfig
+from repro.simulator import SimResult, Simulator
+from repro.stats.report import format_breakdown_table, format_table
+from repro.workloads import WORKLOAD_NAMES, make_workload
+
+SCHEMES = ("logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv")
+
+
+def _build_config(args: argparse.Namespace, **redirect_overrides) -> SimConfig:
+    redirect = RedirectConfig(**redirect_overrides)
+    return SimConfig(
+        n_cores=args.cores,
+        htm=HTMConfig(policy=args.policy, start_stagger=args.stagger),
+        redirect=redirect,
+    )
+
+
+def _run_one(args: argparse.Namespace, scheme: str,
+             config: SimConfig | None = None) -> SimResult:
+    cfg = config or _build_config(args)
+    n_threads = args.threads or cfg.n_cores
+    program = make_workload(args.workload, n_threads=n_threads,
+                            seed=args.seed, scale=args.scale)
+    sim = Simulator(cfg, scheme=scheme, seed=args.seed)
+    result = sim.run(program.threads)
+    if not args.no_verify:
+        program.verify(result.memory)
+    return result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    res = _run_one(args, args.scheme)
+    print(f"{args.workload} under {args.scheme}: "
+          f"{res.total_cycles:,} cycles, {res.commits} commits, "
+          f"{res.aborts} aborts (ratio {res.abort_ratio:.1%}), "
+          f"{res.n_threads} threads, "
+          f"{res.context_switches} context switches")
+    rows = [(k, v, f"{res.breakdown.fraction(k):.1%}")
+            for k, v in res.breakdown.as_dict().items()]
+    print(format_table(["component", "cycles", "share"], rows))
+    if args.stats:
+        stats = [(k, v) for k, v in sorted(res.scheme_stats.items()) if v]
+        print()
+        print(format_table(["statistic", "value"], stats))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    results = {}
+    for scheme in args.schemes:
+        results[scheme] = _run_one(args, scheme)
+        print(f"{scheme:10s} {results[scheme].total_cycles:>12,} cycles")
+    print()
+    print(format_breakdown_table(
+        {k: v.breakdown for k, v in results.items()},
+        baseline=args.schemes[0],
+        title=f"{args.workload} — normalized to {args.schemes[0]}",
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    rows = []
+    for value in args.values:
+        cfg = _build_config(args, **{args.parameter: value})
+        res = _run_one(args, args.scheme, config=cfg)
+        stats = res.scheme_stats
+        rows.append([value, res.total_cycles,
+                     f"{stats.get('table_l1_miss_rate', 0.0):.3f}",
+                     int(stats.get("table_l2_overflows", 0))])
+    print(format_table(
+        [args.parameter, "exec cycles", "L1-table miss rate", "L2 ovf"],
+        rows,
+        title=f"{args.workload} / {args.scheme} — sweep of {args.parameter}",
+    ))
+    return 0
+
+
+def cmd_hwcost(args: argparse.Namespace) -> int:
+    from repro.hwcost.cacti import CactiLite
+    from repro.hwcost.storage import suv_overhead_report
+
+    rows = [
+        (e.tech_nm, e.access_time_ns, e.read_energy_nj, e.write_energy_nj,
+         e.area_mm2, e.cycles_at(1.2))
+        for e in CactiLite().table_vii()
+    ]
+    print(format_table(
+        ["tech (nm)", "access (ns)", "read (nJ)", "write (nJ)",
+         "area (mm²)", "cycles @1.2GHz"],
+        rows, title="Table VII — first-level redirect table (CACTI-lite)",
+    ))
+    print()
+    print(format_table(
+        ["figure", "value"],
+        [(k, f"{v:.4g}") for k, v in suv_overhead_report().items()],
+        title="Section V-C overhead report",
+    ))
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:", ", ".join(WORKLOAD_NAMES + ("synthetic",)))
+    print("schemes  :", ", ".join(SCHEMES))
+    print("scales   : tiny, small, full")
+    return 0
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--cores", type=int, default=16)
+    p.add_argument("--threads", type=int, default=0,
+                   help="software threads (default = cores; more than "
+                        "cores enables time-multiplexing)")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="small")
+    p.add_argument("--policy", choices=("stall", "abort_requester", "abort_responder"),
+                   default="stall")
+    p.add_argument("--stagger", type=int, default=512)
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip the workload's functional verifier")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SUV-TM reproduction (Yan et al., IPDPS 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run one workload under one scheme")
+    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
+    p.add_argument("--stats", action="store_true")
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("compare", help="compare schemes on one workload")
+    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
+                   choices=SCHEMES)
+    _add_common(p)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("sweep", help="sweep a redirect-table parameter")
+    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("parameter",
+                   choices=("l1_entries", "l2_entries", "l2_latency"))
+    p.add_argument("values", type=int, nargs="+")
+    p.add_argument("--scheme", default="suv", choices=SCHEMES)
+    _add_common(p)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
+    p.set_defaults(fn=cmd_hwcost)
+
+    p = sub.add_parser("list", help="list workloads and schemes")
+    p.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The paper's contribution: SUV single-update version management.
+
+This package implements the hardware structures of Sections III and IV:
+
+* :mod:`repro.core.redirect_entry` — the redirect entry and its four
+  states (Table II), including the bit-level first-level encoding of
+  Figure 3.
+* :mod:`repro.core.preserved_pool` — the reserved memory pool that new
+  values are redirected into, with on-demand page allocation.
+* :mod:`repro.core.redirect_table` — the two-level redirect table
+  (per-core zero-latency fully-associative L1 table, shared 8-way L2
+  table, software-managed memory overflow area).
+* :mod:`repro.core.summary` — the redirect summary signature that
+  filters table lookups off the critical path (Figure 5).
+
+The :class:`repro.htm.vm.suv.SUV` version manager wires these into the
+HTM engine.
+"""
+
+from repro.core.preserved_pool import PreservedPool
+from repro.core.redirect_entry import EntryState, RedirectEntry
+from repro.core.redirect_table import LookupResult, RedirectTable
+from repro.core.summary import RedirectSummaryFilter
+
+__all__ = [
+    "EntryState",
+    "LookupResult",
+    "PreservedPool",
+    "RedirectEntry",
+    "RedirectSummaryFilter",
+    "RedirectTable",
+]

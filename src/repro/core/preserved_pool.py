@@ -1,0 +1,65 @@
+"""The preserved redirect pool (paper Section III/IV-A).
+
+SUV-TM redirects transactional stores into a reserved region of physical
+memory.  Pages are allocated on demand; a redirect-entry pointer tracks
+the next free slot, and lines freed by the redirect-back optimization are
+recycled.  The pool lives at a fixed physical base so pool lines never
+collide with application data.
+"""
+
+from __future__ import annotations
+
+from repro.config import LINE_BYTES
+
+
+class PreservedPool:
+    """On-demand paged allocator of redirected cache lines."""
+
+    def __init__(self, base_addr: int, page_bytes: int) -> None:
+        if base_addr % page_bytes != 0:
+            raise ValueError("pool base must be page-aligned")
+        if page_bytes % LINE_BYTES != 0:
+            raise ValueError("page size must be a whole number of lines")
+        self.base_line = base_addr // LINE_BYTES
+        self.lines_per_page = page_bytes // LINE_BYTES
+        self._next_offset = 0          # bump pointer, in lines
+        self._free: list[int] = []     # recycled pool lines (LIFO)
+        self.pages_allocated = 0
+        self.allocations = 0
+        self.frees = 0
+
+    def allocate_line(self) -> int:
+        """A free pool line (recycles freed lines before growing)."""
+        self.allocations += 1
+        if self._free:
+            return self._free.pop()
+        if self._next_offset % self.lines_per_page == 0:
+            # crossing into a fresh page: the hardware allocates it and
+            # installs the mapping in the TLB (paper: "automatically
+            # allocates a page in the preserved redirect pool")
+            self.pages_allocated += 1
+        line = self.base_line + self._next_offset
+        self._next_offset += 1
+        return line
+
+    def free_line(self, line: int) -> None:
+        """Return a pool line for reuse (redirect-back reclamation)."""
+        if not self.contains_line(line):
+            raise ValueError(f"line {line:#x} is not a pool line")
+        self.frees += 1
+        self._free.append(line)
+
+    def contains_line(self, line: int) -> bool:
+        return self.base_line <= line < self.base_line + self._next_offset
+
+    def tlb_index_of(self, line: int) -> int:
+        """Index of the pool page holding ``line`` (the Figure 3 TLB clue)."""
+        return (line - self.base_line) // self.lines_per_page
+
+    def page_offset_of(self, line: int) -> int:
+        """In-page line offset (the Figure 3 7-bit offset)."""
+        return (line - self.base_line) % self.lines_per_page
+
+    @property
+    def live_lines(self) -> int:
+        return self._next_offset - len(self._free)

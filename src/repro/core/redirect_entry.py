@@ -1,0 +1,146 @@
+"""Redirect entries and their four states (paper Table II, Figure 3).
+
+An entry maps an *original* cache line to a *redirected* line in the
+preserved pool.  Two bits — ``global`` and ``valid`` — encode four
+states.  The stable states have ``global == valid``:
+
+====================  ======  =====  =========================================
+state                 global  valid  meaning
+====================  ======  =====  =========================================
+``VALID``             1       1      redirection active for every access
+``INVALID``           0       0      no redirection (free / reclaimed entry)
+``LOCAL_VALID``       0       1      redirection added by the running
+                                     transaction; only that transaction's
+                                     accesses follow it until commit
+``LOCAL_INVALID``     1       0      redirection suspended by the running
+                                     transaction (redirect-back); other
+                                     threads still follow the old mapping
+====================  ======  =====  =========================================
+
+The paper's commit and abort rules become two one-bit flips:
+
+* **commit** converts transient entries by flipping the *global* bit
+  ("0→1 if valid=1, 1→0 if valid=0"), yielding ``VALID`` or ``INVALID``;
+* **abort** converts them by flipping the *valid* bit ("0→1 if global=1,
+  1→0 if global=0"), restoring the pre-transaction state.
+
+This is why SUV's commit and abort are (near) zero-latency: no data
+moves, only these bits change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EntryState(enum.Enum):
+    """The four (global, valid) states of Table II."""
+
+    VALID = (1, 1)
+    INVALID = (0, 0)
+    LOCAL_VALID = (0, 1)
+    LOCAL_INVALID = (1, 0)
+
+    @property
+    def global_bit(self) -> int:
+        return self.value[0]
+
+    @property
+    def valid_bit(self) -> int:
+        return self.value[1]
+
+    @property
+    def is_transient(self) -> bool:
+        """Transient states are exactly those with global != valid."""
+        return self.value[0] != self.value[1]
+
+    def committed(self) -> "EntryState":
+        """The commit rule: flip the global bit of a transient entry."""
+        g, v = self.value
+        if g == v:
+            return self
+        return EntryState((g ^ 1, v))
+
+    def aborted(self) -> "EntryState":
+        """The abort rule: flip the valid bit of a transient entry."""
+        g, v = self.value
+        if g == v:
+            return self
+        return EntryState((g, v ^ 1))
+
+
+@dataclass
+class RedirectEntry:
+    """One (original line → redirected line) mapping."""
+
+    orig_line: int
+    redirected_line: int
+    state: EntryState = EntryState.LOCAL_VALID
+    #: core whose open transaction owns the transient state, if any
+    owner: int | None = None
+
+    def active_for(self, core: int | None) -> bool:
+        """Does the redirection apply to an access by ``core``?
+
+        ``core`` is the accessing core, or ``None`` for a non-owner
+        perspective.  Transient states only affect the owning
+        transaction's accesses (paper Section III).
+        """
+        if self.state is EntryState.VALID:
+            return True
+        if self.state is EntryState.INVALID:
+            return False
+        if self.state is EntryState.LOCAL_VALID:
+            return core is not None and core == self.owner
+        # LOCAL_INVALID: suspended for the owner, still live for the rest
+        return core is None or core != self.owner
+
+    def on_commit(self) -> None:
+        self.state = self.state.committed()
+        if not self.state.is_transient:
+            self.owner = None
+
+    def on_abort(self) -> None:
+        self.state = self.state.aborted()
+        if not self.state.is_transient:
+            self.owner = None
+
+    @property
+    def is_free(self) -> bool:
+        """INVALID stable entries can be reclaimed from the table."""
+        return self.state is EntryState.INVALID
+
+    # -- Figure 3 bit-level encoding -------------------------------------
+    def encode_first_level(
+        self,
+        l1_index_bits: int = 7,
+        tlb_index: int = 0,
+        tlb_index_bits: int = 6,
+        page_offset_bits: int = 7,
+    ) -> int:
+        """The 22-bit first-level table encoding of Figure 3.
+
+        Layout (msb→lsb): L1-cache set index of the original line,
+        2-bit present state, TLB-entry index of the redirect pool page,
+        in-page line offset.  With the default widths this is
+        7 + 2 + 6 + 7 = 22 bits, matching the paper's arithmetic.
+        """
+        l1_index = self.orig_line & ((1 << l1_index_bits) - 1)
+        state_bits = (self.state.global_bit << 1) | self.state.valid_bit
+        offset = self.redirected_line & ((1 << page_offset_bits) - 1)
+        tlb = tlb_index & ((1 << tlb_index_bits) - 1)
+        word = l1_index
+        word = (word << 2) | state_bits
+        word = (word << tlb_index_bits) | tlb
+        word = (word << page_offset_bits) | offset
+        return word
+
+    @staticmethod
+    def first_level_entry_bits(
+        l1_index_bits: int = 7,
+        tlb_index_bits: int = 6,
+        page_offset_bits: int = 7,
+    ) -> int:
+        """Size in bits of a first-level entry (paper: 22)."""
+        return l1_index_bits + 2 + tlb_index_bits + page_offset_bits

@@ -1,0 +1,12 @@
+"""Literature data quoted by the paper (Tables I and VI)."""
+
+from repro.data.literature import ABORT_RATIO_STUDIES, AbortStudy
+from repro.data.processors import PROCESSORS, ROCK, ProcessorSpec
+
+__all__ = [
+    "ABORT_RATIO_STUDIES",
+    "AbortStudy",
+    "PROCESSORS",
+    "ProcessorSpec",
+    "ROCK",
+]

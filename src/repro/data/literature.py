@@ -1,0 +1,49 @@
+"""Table I: abort behaviours reported in published TM studies.
+
+These motivate the paper's claim that abort processing must be
+optimized alongside commit: abort ratios up to ~80% have been observed
+on modern transactional benchmark suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AbortStudy:
+    """One row of Table I."""
+
+    study: str
+    abort_ratio_max: float          # fraction, not percent
+    environment: str
+
+
+ABORT_RATIO_STUDIES: tuple[AbortStudy, ...] = (
+    AbortStudy("LogTM", 0.15, "Splash2 applications run under LogTM"),
+    AbortStudy("PTM", 0.24, "Splash2 applications run under PTM"),
+    AbortStudy(
+        "LogTM-SE", 0.40,
+        "Raytrace and BerkeleyDB aborted about 30% and 40% of transactions",
+    ),
+    AbortStudy(
+        "FasTM", 0.40, "Micro-benchmarks, Splash2 and STAMP under FasTM"
+    ),
+    AbortStudy(
+        "SBCR-HTM", 0.759,
+        "STAMP under HTM with speculation-based conflict resolution",
+    ),
+    AbortStudy("LiteTM", 0.794, "STAMP under TokenTM"),
+    AbortStudy(
+        "Lee-TM", 0.72,
+        "Five implementations of Lee's routing algorithm under DSTM2",
+    ),
+    AbortStudy(
+        "TransPlant", 0.79,
+        "Automatically generated programs with desired characteristics",
+    ),
+    AbortStudy(
+        "RMS-TM", 0.69,
+        "Selected RMS applications under Intel's prototype STM compiler",
+    ),
+)

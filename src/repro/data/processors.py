@@ -1,0 +1,32 @@
+"""Table VI: parameters of contemporary processors (2012 vintage).
+
+Used to put SUV's energy/area overheads in context (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorSpec:
+    """One row of Table VI."""
+
+    name: str
+    tech_nm: int
+    clock_ghz: float
+    cores: int
+    threads: int
+    tdp_w: float
+    area_mm2: float
+
+
+ULTRASPARC_T1 = ProcessorSpec("UltraSPARC T1", 90, 1.4, 8, 32, 72, 378)
+ULTRASPARC_T2 = ProcessorSpec("UltraSPARC T2", 65, 1.4, 8, 64, 84, 342)
+ROCK = ProcessorSpec("Rock Processor", 65, 2.3, 16, 32, 250, 396)
+
+PROCESSORS: tuple[ProcessorSpec, ...] = (
+    ULTRASPARC_T1,
+    ULTRASPARC_T2,
+    ROCK,
+)

@@ -1,0 +1,12 @@
+"""The hardware-transactional-memory engine.
+
+Programs express work through the operation protocol of
+:mod:`repro.htm.ops`; the engine in :mod:`repro.simulator` executes them
+over the memory substrate with one of the version managers in
+:mod:`repro.htm.vm`.
+"""
+
+from repro.htm.ops import Barrier, Read, Tx, Work, Write
+from repro.htm.transaction import TxFrame
+
+__all__ = ["Barrier", "Read", "Tx", "TxFrame", "Work", "Write"]

@@ -1,0 +1,25 @@
+"""Randomized exponential backoff after transaction aborts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import HTMConfig
+
+
+class BackoffPolicy:
+    """Exponential backoff with jitter, capped, per-core deterministic."""
+
+    def __init__(self, config: HTMConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+
+    def delay(self, consecutive_aborts: int) -> int:
+        """Backoff cycles after the n-th consecutive abort (n >= 1)."""
+        if consecutive_aborts <= 0:
+            return 0
+        window = self.config.backoff_base << min(consecutive_aborts - 1, 16)
+        window = min(window, self.config.backoff_cap)
+        # uniform jitter over [window/2, window]
+        lo = max(1, window // 2)
+        return int(self._rng.integers(lo, window + 1))

@@ -1,0 +1,32 @@
+"""Version-management schemes.
+
+* :class:`~repro.htm.vm.logtm_se.LogTMSE` — eager VM with an undo log
+  and a software abort walk (the paper's baseline).
+* :class:`~repro.htm.vm.fastm.FasTM` — new values pinned in the L1,
+  fast abort unless the L1 overflows (then per-line LogTM-SE fallback).
+* :class:`~repro.htm.vm.suv.SUV` — the paper's contribution: every
+  transactional store redirected through the redirect table; commit and
+  abort are bit flips.
+* :class:`~repro.htm.vm.lazy.LazyVM` — redo-in-L1 lazy VM used as
+  DynTM's lazy execution mode (exhibits the merge pathology).
+* :class:`~repro.htm.vm.dyntm.DynTM` — history-based eager/lazy mode
+  selector over a pluggable eager VM (FasTM = original DynTM,
+  SUV = the paper's DynTM+SUV).
+"""
+
+from repro.htm.vm.base import VersionManager, make_version_manager
+from repro.htm.vm.dyntm import DynTM
+from repro.htm.vm.fastm import FasTM
+from repro.htm.vm.lazy import LazyVM
+from repro.htm.vm.logtm_se import LogTMSE
+from repro.htm.vm.suv import SUV
+
+__all__ = [
+    "DynTM",
+    "FasTM",
+    "LazyVM",
+    "LogTMSE",
+    "SUV",
+    "VersionManager",
+    "make_version_manager",
+]

@@ -1,0 +1,128 @@
+"""DynTM: a dynamically-adaptable HTM (Lupon MICRO'10), behavioural.
+
+DynTM chooses, per static transaction site, between *eager* execution
+(eager conflict detection + eager version management) and *lazy*
+execution (invisible until a validating, arbitrated commit).  The choice
+comes from a history-based selector: a saturating counter per site that
+moves toward lazy when eager attempts keep aborting (lazy aborts are
+cheap and the committer always wins) and back toward eager when lazy
+runs overflow the L1 or pay heavy commit merges.
+
+The eager version manager is pluggable:
+
+* ``eager_vm="fastm"`` — the original DynTM of the paper (Figure 9, D);
+* ``eager_vm="suv"``  — the paper's DynTM+SUV (Figure 9, D+S), which
+  also cheapens the lazy commit: publication is an invalidation round
+  trip instead of a per-line data merge.
+"""
+
+from __future__ import annotations
+
+from repro.config import SimConfig
+from repro.htm.transaction import TxFrame
+from repro.htm.vm.base import VersionManager
+from repro.htm.vm.fastm import FasTM
+from repro.htm.vm.lazy import LazyVM
+from repro.htm.vm.suv import SUV
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+
+
+class DynTM(VersionManager):
+    """Mode-selecting VM delegating to an eager VM and a LazyVM."""
+
+    name = "dyntm"
+
+    def __init__(
+        self, config: SimConfig, hierarchy: MemoryHierarchy, eager_vm: str = "fastm"
+    ) -> None:
+        super().__init__(config, hierarchy)
+        if eager_vm == "fastm":
+            self.eager: VersionManager = FasTM(config, hierarchy)
+        elif eager_vm == "suv":
+            self.eager = SUV(config, hierarchy)
+        else:
+            raise ValueError(f"unsupported DynTM eager VM {eager_vm!r}")
+        self.lazy = LazyVM(
+            config, hierarchy, publish_by_redirect=(eager_vm == "suv")
+        )
+        self.name = f"dyntm+{self.eager.name}"
+        self.line_versions = self.lazy.line_versions
+        # per-site saturating counters; >= threshold ⇒ run lazily
+        self._counters: dict[int, int] = {}
+        self._max = (1 << config.dyntm.counter_bits) - 1
+        self._threshold = config.dyntm.lazy_threshold
+        self.stats.extra.update(eager_attempts=0, lazy_attempts=0)
+
+    # -- mode selection ---------------------------------------------------
+    def mode_for(self, core: int, site: int) -> str:
+        if self._counters.get(site, 0) >= self._threshold:
+            self.stats.extra["lazy_attempts"] += 1
+            return "lazy"
+        self.stats.extra["eager_attempts"] += 1
+        return "eager"
+
+    def note_outcome(self, core: int, frame: TxFrame, committed: bool) -> None:
+        site = frame.site
+        c = self._counters.get(site, 0)
+        if frame.mode == "eager":
+            if not committed:
+                # eager aborts are expensive; drift toward lazy
+                self._counters[site] = min(self._max, c + 1)
+        else:
+            if frame.vm.get("must_abort") == "overflow":
+                # lazy cannot hold the write set: force eager
+                self._counters[site] = 0
+            elif committed and len(frame.vm.get("spec_lines", ())) > 32:
+                # heavy merge: eager would commit for free
+                self._counters[site] = max(0, c - 1)
+
+    # -- delegation ---------------------------------------------------------
+    def _vm(self, frame: TxFrame) -> VersionManager:
+        return self.lazy if frame.mode == "lazy" else self.eager
+
+    def on_begin(self, core: int, frame: TxFrame) -> int:
+        return self._vm(frame).on_begin(core, frame)
+
+    def pre_read(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        return self._vm(frame).pre_read(core, frame, line)
+
+    def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        return self._vm(frame).pre_write(core, frame, line)
+
+    def post_write(
+        self, core: int, frame: TxFrame, line: int, result: AccessResult
+    ) -> int:
+        return self._vm(frame).post_write(core, frame, line, result)
+
+    def commit(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        return self._vm(frame).commit(core, frame, outermost)
+
+    def abort(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        return self._vm(frame).abort(core, frame, outermost)
+
+    def validate(self, core: int, frame: TxFrame) -> bool:
+        return self._vm(frame).validate(core, frame)
+
+    def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:
+        self._vm(parent).merge_nested(parent, child)
+
+    def nontx_translate(self, core: int, line: int) -> tuple[int, int]:
+        return self.eager.nontx_translate(core, line)
+
+    def wants_speculative_marking(self) -> bool:
+        # resolved per frame by the simulator via frame.mode; the eager
+        # VM's preference applies to eager frames
+        return self.eager.wants_speculative_marking()
+
+    def speculative_for(self, frame: TxFrame) -> bool:
+        """Per-frame speculative-marking decision."""
+        return self._vm(frame).wants_speculative_marking()
+
+    def local_writes_for(self, frame: TxFrame) -> bool:
+        return frame.mode == "lazy"
+
+    def scheme_stats(self) -> dict[str, float]:
+        out = super().scheme_stats()
+        out.update({f"eager_{k}": v for k, v in self.eager.scheme_stats().items()})
+        out.update({f"lazy_{k}": v for k, v in self.lazy.scheme_stats().items()})
+        return out

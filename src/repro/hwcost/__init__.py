@@ -1,0 +1,18 @@
+"""Hardware cost models (paper Section V-C, Tables VI and VII)."""
+
+from repro.hwcost.cacti import CactiLite, TableEstimate
+from repro.hwcost.storage import (
+    cmp_energy_bound_joules,
+    cmp_table_area_mm2,
+    per_core_storage_bytes,
+    suv_overhead_report,
+)
+
+__all__ = [
+    "CactiLite",
+    "TableEstimate",
+    "cmp_energy_bound_joules",
+    "cmp_table_area_mm2",
+    "per_core_storage_bytes",
+    "suv_overhead_report",
+]

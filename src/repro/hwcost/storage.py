@@ -1,0 +1,79 @@
+"""Section V-C arithmetic: SUV's per-core storage, energy and area.
+
+The paper's numbers:
+
+* per-core state: a 2 Kbit redirect summary signature + a 2 Kbit
+  uniquely-written bit vector + 512 first-level entries x 22 bits
+  = (2 Kb + 2 Kb + 22 b x 512) / 8 = **1.875 KB**, about 5.86% of a
+  32 KB L1;
+* CMP dynamic energy bound: 0.5 x (0.150 nJ + 0.163 nJ) x 16 cores x
+  1.2 GHz < **3 J**(/s), ~1.2% of the Rock processor's 250 W TDP;
+* CMP area: 0.5 x 16 x 0.282 mm² = **2.26 mm²**, ~0.6% of Rock's
+  396 mm² — the 0.5 factor being the 22-bit-vs-64-bit CACTI correction.
+"""
+
+from __future__ import annotations
+
+from repro.config import RedirectConfig, SimConfig
+from repro.data.processors import ROCK
+from repro.hwcost.cacti import CactiLite
+
+
+def per_core_storage_bytes(config: RedirectConfig | None = None,
+                           entry_bits: int = 22) -> float:
+    """Per-core SUV state in bytes (paper: 1.875 KB = 1920 B)."""
+    cfg = config or RedirectConfig()
+    bits = cfg.summary_bits            # redirect summary signature
+    bits += cfg.summary_bits           # the uniquely-written bit vector
+    bits += entry_bits * cfg.l1_entries
+    return bits / 8
+
+
+def per_core_storage_fraction_of_l1(config: SimConfig | None = None) -> float:
+    """The paper's "about 5.86% of the L1 data cache" figure."""
+    cfg = config or SimConfig()
+    return per_core_storage_bytes(cfg.redirect) / cfg.l1.size_bytes
+
+
+def cmp_energy_bound_joules(
+    config: SimConfig | None = None,
+    tech_nm: int = 45,
+    correction: float = 0.5,
+) -> float:
+    """Upper bound on table energy per second across the CMP (paper: <3 J).
+
+    Assumes one read + one write per cycle per core — the worst case —
+    scaled by the 22-bit-entry correction factor.
+    """
+    cfg = config or SimConfig()
+    est = CactiLite().estimate(tech_nm)
+    per_access_nj = est.read_energy_nj + est.write_energy_nj
+    accesses_per_s = cfg.clock_ghz * 1e9
+    return correction * per_access_nj * 1e-9 * cfg.n_cores * accesses_per_s
+
+
+def cmp_table_area_mm2(
+    config: SimConfig | None = None,
+    tech_nm: int = 45,
+    correction: float = 0.5,
+) -> float:
+    """Total first-level-table silicon area across the CMP (paper: 2.26 mm²)."""
+    cfg = config or SimConfig()
+    est = CactiLite().estimate(tech_nm)
+    return correction * cfg.n_cores * est.area_mm2
+
+
+def suv_overhead_report(config: SimConfig | None = None) -> dict[str, float]:
+    """All Section V-C figures in one dictionary."""
+    cfg = config or SimConfig()
+    energy = cmp_energy_bound_joules(cfg)
+    area = cmp_table_area_mm2(cfg)
+    return {
+        "per_core_bytes": per_core_storage_bytes(cfg.redirect),
+        "per_core_kb": per_core_storage_bytes(cfg.redirect) / 1024,
+        "fraction_of_l1": per_core_storage_fraction_of_l1(cfg),
+        "cmp_energy_joules_per_s": energy,
+        "energy_fraction_of_rock_tdp": energy / ROCK.tdp_w,
+        "cmp_area_mm2": area,
+        "area_fraction_of_rock": area / ROCK.area_mm2,
+    }

@@ -1,0 +1,5 @@
+"""On-chip interconnect: the 4x4 mesh of the simulated CMP."""
+
+from repro.interconnect.mesh import Mesh
+
+__all__ = ["Mesh"]

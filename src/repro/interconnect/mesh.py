@@ -1,0 +1,76 @@
+"""A 2-D mesh interconnect with minimal-path (adaptive) routing.
+
+Cores occupy the mesh nodes in row-major order; the four memory
+controllers / L2+directory banks sit at the corner nodes, and cache lines
+are interleaved across the banks by line index (Table III: "Four memory
+controllers are configured to access the main memory").
+
+Routing latency is behavioural: a message between nodes ``a`` and ``b``
+costs ``manhattan(a, b) * (wire + route)`` cycles, the cost of the
+minimal adaptive route with no modelled congestion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import MeshConfig
+
+
+class Mesh:
+    """Mesh geometry and message-latency model."""
+
+    def __init__(self, n_cores: int, config: MeshConfig, n_banks: int = 4) -> None:
+        side = math.isqrt(n_cores)
+        if side * side != n_cores:
+            # fall back to the smallest square mesh that fits every core
+            side = math.ceil(math.sqrt(n_cores))
+        self.side = side
+        self.n_cores = n_cores
+        self.config = config
+        self.n_banks = n_banks
+        self._bank_nodes = self._place_banks(n_banks)
+
+    def _place_banks(self, n_banks: int) -> list[tuple[int, int]]:
+        """Banks at the mesh corners (then edge midpoints for >4 banks)."""
+        s = self.side - 1
+        corners = [(0, 0), (0, s), (s, 0), (s, s)]
+        if n_banks <= 4:
+            return corners[:n_banks]
+        mids = [(0, s // 2), (s, s // 2), (s // 2, 0), (s // 2, s)]
+        return (corners + mids)[:n_banks]
+
+    def core_position(self, core: int) -> tuple[int, int]:
+        """Row-major placement of a core on the mesh."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} out of range")
+        return divmod(core, self.side)
+
+    def bank_of_line(self, line: int) -> int:
+        """Memory controller / L2 bank owning a cache line (interleaved)."""
+        return line % self.n_banks
+
+    def hops(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def latency(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """One-way message latency between two mesh nodes."""
+        return self.hops(a, b) * self.config.hop_latency
+
+    def core_to_bank(self, core: int, line: int) -> int:
+        """Latency from a core to the bank holding ``line``."""
+        return self.latency(
+            self.core_position(core), self._bank_nodes[self.bank_of_line(line)]
+        )
+
+    def core_to_core(self, a: int, b: int) -> int:
+        """Latency of a direct core-to-core transfer (cache forwarding)."""
+        return self.latency(self.core_position(a), self.core_position(b))
+
+    def avg_core_to_bank(self, line: int) -> float:
+        """Mean core→bank latency, used for broadcast cost estimates."""
+        bank = self._bank_nodes[self.bank_of_line(line)]
+        total = sum(
+            self.latency(self.core_position(c), bank) for c in range(self.n_cores)
+        )
+        return total / self.n_cores

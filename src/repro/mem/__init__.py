@@ -1,0 +1,15 @@
+"""Memory-hierarchy substrate: caches, directory, MESI, main memory."""
+
+from repro.mem.cache import CacheLineState, SetAssocCache
+from repro.mem.directory import Directory
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.mem.memory import MainMemory
+
+__all__ = [
+    "AccessResult",
+    "CacheLineState",
+    "Directory",
+    "MainMemory",
+    "MemoryHierarchy",
+    "SetAssocCache",
+]

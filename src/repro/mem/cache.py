@@ -1,0 +1,145 @@
+"""A set-associative, write-back cache with LRU replacement.
+
+The cache tracks *lines* (already-shifted line indices), their MESI state,
+dirtiness, and a ``speculative`` flag used by the FasTM and lazy version
+managers to pin transactionally-written data in the L1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+
+class CacheLineState(enum.Enum):
+    """MESI states of a cached line."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """One resident line."""
+
+    line: int
+    state: CacheLineState
+    dirty: bool = False
+    speculative: bool = False
+    lru_tick: int = 0
+
+
+class SetAssocCache:
+    """LRU set-associative cache keyed by line index."""
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.n_sets = config.n_sets
+        self.ways = config.ways
+        # one dict per set: line -> CacheLine (len <= ways)
+        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line: int) -> dict[int, CacheLine]:
+        return self._sets[line % self.n_sets]
+
+    def set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    def lookup(self, line: int, touch: bool = True) -> CacheLine | None:
+        """The resident entry for ``line``, or None.  Counts hit/miss."""
+        entry = self._set_of(line).get(line)
+        if entry is None or entry.state is CacheLineState.INVALID:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            self._tick += 1
+            entry.lru_tick = self._tick
+        return entry
+
+    def peek(self, line: int) -> CacheLine | None:
+        """Like lookup but without touching LRU or counters."""
+        entry = self._set_of(line).get(line)
+        if entry is None or entry.state is CacheLineState.INVALID:
+            return None
+        return entry
+
+    def insert(
+        self,
+        line: int,
+        state: CacheLineState,
+        dirty: bool = False,
+        speculative: bool = False,
+    ) -> CacheLine | None:
+        """Install ``line``; returns the victim line evicted to make room.
+
+        Victim selection is LRU among non-speculative lines first: FasTM
+        pins speculative lines as long as a non-speculative victim exists
+        (it *overflows* only when a set fills with speculative lines, which
+        the caller detects because the returned victim is speculative).
+        """
+        cset = self._set_of(line)
+        existing = cset.get(line)
+        self._tick += 1
+        if existing is not None:
+            existing.state = state
+            existing.dirty = dirty or existing.dirty
+            existing.speculative = speculative or existing.speculative
+            existing.lru_tick = self._tick
+            return None
+        victim: CacheLine | None = None
+        if len(cset) >= self.ways:
+            normal = [e for e in cset.values() if not e.speculative]
+            pool = normal if normal else list(cset.values())
+            victim = min(pool, key=lambda e: e.lru_tick)
+            del cset[victim.line]
+            self.evictions += 1
+        cset[line] = CacheLine(
+            line=line, state=state, dirty=dirty, speculative=speculative,
+            lru_tick=self._tick,
+        )
+        return victim
+
+    def invalidate(self, line: int) -> CacheLine | None:
+        """Drop ``line``; returns the entry that was resident (if any)."""
+        cset = self._set_of(line)
+        return cset.pop(line, None)
+
+    def resident_lines(self) -> list[int]:
+        """All currently-resident line indices (test/diagnostic helper)."""
+        return [ln for cset in self._sets for ln in cset]
+
+    def speculative_lines(self) -> list[int]:
+        return [
+            e.line for cset in self._sets for e in cset.values() if e.speculative
+        ]
+
+    def clear_speculative(self, invalidate: bool = False) -> list[int]:
+        """Commit (clear flags) or abort (invalidate) speculative lines.
+
+        Returns the affected line indices.
+        """
+        affected: list[int] = []
+        for cset in self._sets:
+            for ln in list(cset):
+                entry = cset[ln]
+                if not entry.speculative:
+                    continue
+                affected.append(ln)
+                if invalidate:
+                    del cset[ln]
+                else:
+                    entry.speculative = False
+        return affected
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(cset) for cset in self._sets)

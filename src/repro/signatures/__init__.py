@@ -1,0 +1,6 @@
+"""Hardware address-set signatures (Bloom filters) for conflict detection."""
+
+from repro.signatures.bloom import BloomSignature, CountingSummarySignature
+from repro.signatures.hashes import H3HashFamily
+
+__all__ = ["BloomSignature", "CountingSummarySignature", "H3HashFamily"]

@@ -1,0 +1,133 @@
+"""Bloom-filter signatures.
+
+Two flavours:
+
+* :class:`BloomSignature` — the plain 2 Kbit read/write signature of
+  LogTM-SE (add, membership test, union, clear; no deletion).
+* :class:`CountingSummarySignature` — the SUV *redirect summary
+  signature* of Figure 5: a Bloom filter plus a parallel bit-vector that
+  remembers which bits were set exactly once, allowing a conservative
+  delete (a "Bloom counter").  Deleting may leave the filter a superset
+  of the true set, which costs wasted lookups but never correctness.
+"""
+
+from __future__ import annotations
+
+from repro.signatures.hashes import H3HashFamily
+
+
+class BloomSignature:
+    """A fixed-size Bloom filter over line addresses."""
+
+    def __init__(self, bits: int, hashes: int, seed: int = 0xB100) -> None:
+        self.bits = bits
+        self.hashes = hashes
+        self._hash = H3HashFamily.shared(hashes, bits, seed)
+        self._word = 0  # the filter as one big int
+        self._count = 0
+
+    def add(self, value: int) -> None:
+        for idx in self._hash.indexes(value):
+            self._word |= 1 << idx
+        self._count += 1
+
+    def test(self, value: int) -> bool:
+        """Might ``value`` be in the set?  (False ⇒ definitely not.)"""
+        for idx in self._hash.indexes(value):
+            if not (self._word >> idx) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._word = 0
+        self._count = 0
+
+    def union_inplace(self, other: "BloomSignature") -> None:
+        """OR another signature into this one (nested-commit merge)."""
+        if other.bits != self.bits:
+            raise ValueError("signature sizes differ")
+        self._word |= other._word
+        self._count += other._count
+
+    def intersects(self, other: "BloomSignature") -> bool:
+        """Conservative set-intersection test (used for summary checks)."""
+        return bool(self._word & other._word)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._word == 0
+
+    @property
+    def popcount(self) -> int:
+        return bin(self._word).count("1")
+
+    @property
+    def added(self) -> int:
+        """Number of ``add`` calls since the last clear."""
+        return self._count
+
+    def false_positive_rate(self) -> float:
+        """Analytic FP estimate for the current fill level."""
+        fill = self.popcount / self.bits
+        return fill ** self.hashes
+
+
+class CountingSummarySignature:
+    """SUV's redirect summary signature with single-write tracking.
+
+    ``signature`` is the Bloom filter proper; ``once`` marks bits that
+    have been set by exactly one inserted address.  Removing an address
+    clears only its *unique* bits (those still marked in ``once``), which
+    is exactly the Figure 5 behaviour: deletion is conservative and the
+    filter may remain a superset of the represented set.
+    """
+
+    def __init__(self, bits: int, hashes: int, seed: int = 0x5BB) -> None:
+        self.bits = bits
+        self.hashes = hashes
+        self._hash = H3HashFamily.shared(hashes, bits, seed)
+        self._sig = 0
+        self._once = 0
+        self.adds = 0
+        self.removes = 0
+
+    def _idx(self, value: int) -> list[int]:
+        return self._hash.indexes(value)
+
+    def add(self, value: int) -> None:
+        self.adds += 1
+        for idx in self._idx(value):
+            bit = 1 << idx
+            if self._sig & bit:
+                # second writer: the bit is no longer uniquely owned
+                self._once &= ~bit
+            else:
+                self._sig |= bit
+                self._once |= bit
+
+    def test(self, value: int) -> bool:
+        for idx in self._idx(value):
+            if not (self._sig >> idx) & 1:
+                return False
+        return True
+
+    def remove(self, value: int) -> None:
+        """Conservatively remove ``value`` (clears only its unique bits)."""
+        self.removes += 1
+        for idx in self._idx(value):
+            bit = 1 << idx
+            if self._once & bit:
+                self._sig &= ~bit
+                self._once &= ~bit
+
+    def clear(self) -> None:
+        self._sig = 0
+        self._once = 0
+
+    @property
+    def popcount(self) -> int:
+        return bin(self._sig).count("1")
+
+    @property
+    def is_empty(self) -> bool:
+        return self._sig == 0

@@ -1,0 +1,6 @@
+"""Discrete-event simulation kernel: event queue, clock and RNG streams."""
+
+from repro.sim.kernel import Event, EventQueue
+from repro.sim.rng import RngStreams
+
+__all__ = ["Event", "EventQueue", "RngStreams"]

@@ -1,0 +1,84 @@
+"""A minimal deterministic discrete-event queue.
+
+The CMP simulator schedules one outstanding event per core plus a handful
+of bookkeeping events.  Events at equal timestamps are delivered in
+insertion order, which keeps runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering key is ``(time, seq)``."""
+
+    time: int
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event dead; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.now = 0
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        ev = Event(self.now + int(delay), self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute timestamp ``time >= now``."""
+        return self.schedule(time - self.now, fn)
+
+    def step(self) -> bool:
+        """Run the next live event; returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn()
+            return True
+        return False
+
+    def run(self, max_events: int | None = None, max_time: int | None = None) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        ``max_events``/``max_time`` guard against runaway simulations
+        (e.g. a livelocked conflict-resolution policy under test).
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(f"event budget exhausted ({max_events} events)")
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if max_time is not None and nxt.time > max_time:
+                raise RuntimeError(
+                    f"time budget exhausted (t={nxt.time} > {max_time})"
+                )
+            self.step()
+            executed += 1
+        return executed

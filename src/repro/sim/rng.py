@@ -1,0 +1,39 @@
+"""Named deterministic RNG streams.
+
+Every stochastic decision in the simulator (workload data, backoff jitter,
+signature hash salts) draws from a stream derived from a single root seed,
+so a run is a pure function of ``(config, workload, seed)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RngStreams:
+    """A family of independent, reproducible generators keyed by name."""
+
+    def __init__(self, root_seed: int) -> None:
+        self.root_seed = int(root_seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """The generator for ``name`` (created on first use)."""
+        gen = self._streams.get(name)
+        if gen is None:
+            ss = np.random.SeedSequence(self.root_seed, spawn_key=(_stable_key(name),))
+            gen = np.random.default_rng(ss)
+            self._streams[name] = gen
+        return gen
+
+    def __getitem__(self, name: str) -> np.random.Generator:
+        return self.stream(name)
+
+
+def _stable_key(name: str) -> int:
+    """A deterministic 63-bit key for a stream name (FNV-1a)."""
+    h = 0xCBF29CE484222325
+    for b in name.encode():
+        h ^= b
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h & 0x7FFFFFFFFFFFFFFF

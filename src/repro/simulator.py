@@ -1,0 +1,1002 @@
+"""The execution-driven CMP/HTM simulator.
+
+One :class:`Simulator` runs a multi-threaded transactional *program*
+over the memory substrate with a chosen version-management scheme,
+producing total execution time, the paper's execution-time breakdown
+(Figure 6/9 components), and scheme counters.
+
+Key behaviours reproduced from the paper's evaluation methodology:
+
+* **Eager conflict detection via signatures** with the *Stall policy*:
+  a conflicting requester stalls; wait-for cycles are broken by aborting
+  the youngest transaction in the cycle, which then backs off
+  (randomized exponential) and retries.
+* **Isolation windows include commit/abort processing**: a transaction's
+  signatures stay armed while its version manager repairs (undo walk) or
+  merges (lazy publication), so neighbours keep stalling — the repair
+  and merge pathologies of Figure 1.  SUV's bit-flip end-of-transaction
+  closes the window almost immediately.
+* **Strong isolation**: non-transactional accesses conflict-check too,
+  and under SUV they pay the redirect-table translation on the critical
+  path.
+* **Re-execution by checkpoint**: a transaction body is a generator
+  factory; retry re-invokes it.
+* **Thread suspension / migration (paper Section IV-C)**: more threads
+  than cores are time-multiplexed.  A thread suspended *inside* a
+  transaction keeps its read/write signatures armed — the summary-
+  signature mechanism of LogTM-SE — so other threads still conflict
+  with it and wait it out; a requester that conflicts with a suspended
+  transaction yields its core so the suspended thread can be
+  rescheduled and finish.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.config import LINE_SHIFT, SimConfig
+from repro.htm.backoff import BackoffPolicy
+from repro.htm.ops import Barrier, OpenTx, Read, Tx, Work, Write
+from repro.htm.transaction import TxFrame
+from repro.htm.vm.base import VersionManager, make_version_manager
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.kernel import Event, EventQueue
+from repro.sim.rng import RngStreams
+from repro.stats.breakdown import Breakdown
+
+# core statuses
+RUNNING = "running"
+STALLED = "stalled"
+BACKOFF = "backoff"
+BARRIER = "barrier"
+COMMITTING = "committing"
+ABORTING = "aborting"
+IDLE = "idle"
+DONE = "done"
+
+
+@dataclass(eq=False)  # identity semantics: ctxs are mounted/parked by object
+class _ThreadCtx:
+    """The migratable state of one software thread."""
+
+    tid: int
+    gen_stack: list[Generator] = field(default_factory=list)
+    frames: list[TxFrame] = field(default_factory=list)
+    pending_send: Any = None       # value sent into the top generator
+    pending_op: Any = None         # op being retried after a stall
+    consecutive_aborts: int = 0
+    doomed_depth: int | None = None
+    slice_start: int = 0
+    last_core: int = -1  # -1 = never mounted
+    park_start: int = 0
+    park_reason: str | None = None  # "stall" | "preempt" | "barrier"
+    barrier_bid: int | None = None
+    barrier_start: int = 0
+    done: bool = False
+    finish_time: int = 0
+
+
+class _Core:
+    """A hardware context executing at most one thread at a time."""
+
+    def __init__(self, idx: int) -> None:
+        self.idx = idx
+        self.ctx: _ThreadCtx | None = None
+        self.status = IDLE
+        self.waiting_on: int | None = None
+        self.waiters: set[int] = set()
+        self.stall_start = 0
+        self.retry_event: Event | None = None
+        self.comp: dict[str, int] = {}
+        self.finish_time = 0
+
+    # -- delegation to the mounted thread ------------------------------
+    @property
+    def gen_stack(self) -> list[Generator]:
+        return self.ctx.gen_stack
+
+    @property
+    def frames(self) -> list[TxFrame]:
+        return self.ctx.frames if self.ctx is not None else []
+
+    @property
+    def pending_send(self) -> Any:
+        return self.ctx.pending_send
+
+    @pending_send.setter
+    def pending_send(self, value: Any) -> None:
+        self.ctx.pending_send = value
+
+    @property
+    def pending_op(self) -> Any:
+        return self.ctx.pending_op
+
+    @pending_op.setter
+    def pending_op(self, value: Any) -> None:
+        self.ctx.pending_op = value
+
+    @property
+    def doomed_depth(self) -> int | None:
+        return self.ctx.doomed_depth if self.ctx is not None else None
+
+    @doomed_depth.setter
+    def doomed_depth(self, value: int | None) -> None:
+        self.ctx.doomed_depth = value
+
+    @property
+    def consecutive_aborts(self) -> int:
+        return self.ctx.consecutive_aborts
+
+    @consecutive_aborts.setter
+    def consecutive_aborts(self, value: int) -> None:
+        self.ctx.consecutive_aborts = value
+
+    @property
+    def in_tx(self) -> bool:
+        return bool(self.frames)
+
+    def charge(self, component: str, cycles: int) -> None:
+        self.comp[component] = self.comp.get(component, 0) + cycles
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    scheme: str
+    total_cycles: int
+    breakdown: Breakdown
+    per_core: list[dict[str, int]]
+    commits: int
+    aborts: int
+    tx_attempts: int
+    scheme_stats: dict[str, float]
+    memory: dict[int, int]
+    events_executed: int
+    n_threads: int = 0
+    context_switches: int = 0
+
+    @property
+    def abort_ratio(self) -> float:
+        return self.aborts / self.tx_attempts if self.tx_attempts else 0.0
+
+    def speedup_over(self, other: "SimResult") -> float:
+        """How much faster this run is than ``other`` (>1 = faster)."""
+        return other.total_cycles / self.total_cycles
+
+
+class Simulator:
+    """Execution-driven simulator for one (config, scheme) pair."""
+
+    def __init__(
+        self,
+        config: SimConfig | None = None,
+        scheme: str | VersionManager = "suv",
+        seed: int = 12345,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.queue = EventQueue()
+        self.rng = RngStreams(seed)
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.memory = self.hierarchy.memory
+        if isinstance(scheme, VersionManager):
+            self.scheme = scheme
+        else:
+            self.scheme = make_version_manager(scheme, self.config, self.hierarchy)
+        self.backoff = BackoffPolicy(self.config.htm, self.rng.stream("backoff"))
+        self.cores: list[_Core] = []
+        self._ctxs: list[_ThreadCtx] = []
+        self._ready: deque[_ThreadCtx] = deque()
+        self._barrier_arrived: dict[int, set[int]] = {}
+        self._barrier_parked: dict[int, list[_ThreadCtx]] = {}
+        self._line_versions: dict[int, int] = getattr(
+            self.scheme, "line_versions", {}
+        )
+        #: lazy-commit arbitration token (TCC-style): at most one lazy
+        #: transaction may be between validation and publication, so the
+        #: version clock is always current when a committer validates.
+        self._lazy_commit_holder: int | None = None
+        self.commits = 0
+        self.aborts = 0
+        self.tx_attempts = 0
+        self.context_switches = 0
+        self._multiplex = False
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def run(
+        self,
+        threads: list[Callable[[], Generator]],
+        max_events: int | None = 20_000_000,
+        max_time: int | None = None,
+    ) -> SimResult:
+        """Execute the thread generators until all finish.
+
+        With at most ``n_cores`` threads, each thread owns a core for
+        the whole run.  With more threads (or ``htm.time_slice > 0``)
+        the simulator time-multiplexes: threads are preempted at
+        operation boundaries, and a thread suspended inside a
+        transaction keeps its conflict state armed (Section IV-C).
+        """
+        self.cores = [_Core(idx=i) for i in range(self.config.n_cores)]
+        self._ctxs = []
+        for tid, factory in enumerate(threads):
+            ctx = _ThreadCtx(tid=tid)
+            ctx.gen_stack.append(factory())
+            self._ctxs.append(ctx)
+        self._multiplex = (
+            len(threads) > self.config.n_cores
+            or self.config.htm.time_slice > 0
+        )
+
+        stagger_rng = self.rng.stream("start_stagger")
+        window = self.config.htm.start_stagger
+        first = self._ctxs[: self.config.n_cores]
+        self._ready.extend(self._ctxs[self.config.n_cores:])
+        for core, ctx in zip(self.cores, first):
+            core.ctx = ctx
+            ctx.last_core = core.idx
+            core.status = RUNNING
+            offset = int(stagger_rng.integers(0, window + 1)) if window else 0
+            core.charge("NoTrans", offset)  # thread-launch skew
+            ctx.slice_start = offset
+            self.queue.schedule(offset, lambda c=core: self._step(c))
+
+        executed = self.queue.run(max_events=max_events, max_time=max_time)
+
+        laggards = [ctx.tid for ctx in self._ctxs if not ctx.done]
+        if laggards:
+            raise RuntimeError(
+                f"simulation ended with non-finished threads {laggards} "
+                "(likely a barrier mismatch or an undetected deadlock)"
+            )
+
+        breakdown = Breakdown()
+        per_core = []
+        for core in self.cores:
+            for comp, amt in core.comp.items():
+                breakdown.add(comp, amt)
+            per_core.append(dict(core.comp))
+        total = max((ctx.finish_time for ctx in self._ctxs), default=0)
+        return SimResult(
+            scheme=self.scheme.name,
+            total_cycles=total,
+            breakdown=breakdown,
+            per_core=per_core[: max(len(threads), 1)],
+            commits=self.commits,
+            aborts=self.aborts,
+            tx_attempts=self.tx_attempts,
+            scheme_stats=self.scheme.scheme_stats(),
+            memory=self.memory.snapshot(),
+            events_executed=executed,
+            n_threads=len(threads),
+            context_switches=self.context_switches,
+        )
+
+    # ==================================================================
+    # the scheduler (multiplexing layer)
+    # ==================================================================
+    def _park(self, core: _Core, reason: str, to_front: bool = False) -> None:
+        """Unmount the core's thread; its transactional state stays armed."""
+        ctx = core.ctx
+        ctx.park_start = self.queue.now
+        ctx.park_reason = reason
+        ctx.last_core = core.idx
+        core.ctx = None
+        core.status = IDLE
+        if reason != "barrier":
+            if to_front:
+                self._ready.appendleft(ctx)
+            else:
+                self._ready.append(ctx)
+        self._dispatch_next(core)
+
+    def _dispatch_next(self, core: _Core) -> None:
+        """Mount the next ready thread on an idle core, if any."""
+        if core.ctx is not None or core.status == DONE:
+            return
+        if not self._ready:
+            core.status = IDLE
+            return
+        ctx = self._ready.popleft()
+        self._mount(core, ctx)
+
+    def _schedule_ready(self) -> None:
+        """Give newly-ready threads to idle cores."""
+        for core in self.cores:
+            if not self._ready:
+                break
+            if core.ctx is None and core.status == IDLE:
+                self._dispatch_next(core)
+
+    def _mount(self, core: _Core, ctx: _ThreadCtx) -> None:
+        switching = ctx.last_core != core.idx or ctx.park_reason is not None
+        core.ctx = ctx
+        ctx.last_core = core.idx
+        ctx.slice_start = self.queue.now
+        core.status = RUNNING
+        reason, ctx.park_reason = ctx.park_reason, None
+        cost = 0
+        if switching and self._multiplex:
+            self.context_switches += 1
+            cost = self.config.htm.context_switch_cycles
+            core.charge("NoTrans", cost)
+        if reason == "stall":
+            core.charge("Stalled", self.queue.now - ctx.park_start)
+            self.queue.schedule(cost, lambda: self._retry_pending(core))
+        else:
+            self.queue.schedule(cost, lambda: self._step(core))
+
+    def _should_preempt(self, core: _Core) -> bool:
+        if not self._multiplex or not self._ready:
+            return False
+        slice_len = self.config.htm.time_slice or 20_000
+        if core.in_tx:
+            # avoid descheduling an active transaction (its armed
+            # signatures would stall everyone): only runaway
+            # transactions lose the core
+            slice_len *= max(1, self.config.htm.tx_slice_grace)
+        return (self.queue.now - core.ctx.slice_start) >= slice_len
+
+    # ==================================================================
+    # the per-core step machine
+    # ==================================================================
+    def _step(self, core: _Core) -> None:
+        """Advance a running core by one operation."""
+        if core.status == DONE or core.ctx is None:
+            return
+        if core.doomed_depth is not None:
+            self._begin_abort(core)
+            return
+        if self._should_preempt(core):
+            # suspend at an operation boundary; transactional state
+            # (signatures, redirect entries, logs) stays armed
+            self._park(core, "preempt")
+            return
+        core.status = RUNNING
+        gen = core.gen_stack[-1]
+        try:
+            if core.pending_send is not None:
+                value, core.pending_send = core.pending_send, None
+                if isinstance(value, _NoneSentinel):
+                    value = None
+                op = gen.send(value)
+            else:
+                op = next(gen)
+        except StopIteration as stop:
+            self._on_generator_done(core, stop)
+            return
+        self._dispatch(core, op)
+
+    def _resume_after(self, core: _Core, delay: int) -> None:
+        self.queue.schedule(delay, lambda: self._step(core))
+
+    def _dispatch(self, core: _Core, op: Any) -> None:
+        if isinstance(op, Work):
+            if op.cycles < 0:
+                raise ValueError("Work cycles must be >= 0")
+            if core.in_tx:
+                core.frames[-1].tentative_cycles += op.cycles
+            else:
+                core.charge("NoTrans", op.cycles)
+            self._resume_after(core, op.cycles)
+        elif isinstance(op, (Read, Write)):
+            self._access(core, op)
+        elif isinstance(op, (Tx, OpenTx)):
+            self._begin_tx(core, op)
+        elif isinstance(op, Barrier):
+            self._enter_barrier(core, op)
+        else:
+            raise TypeError(f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # transactions: begin / commit / abort
+    # ------------------------------------------------------------------
+    def _begin_tx(self, core: _Core, op: Tx) -> None:
+        depth = len(core.frames)
+        if depth == 0:
+            mode = self.scheme.mode_for(core.idx, op.site)
+            timestamp = self.queue.now
+        else:
+            mode = core.frames[0].mode
+            timestamp = core.frames[0].timestamp
+        frame = TxFrame.create(
+            site=op.site,
+            body_factory=op.body,
+            depth=depth,
+            timestamp=timestamp,
+            now=self.queue.now,
+            sig_config=self.config.signature,
+            mode=mode,
+        )
+        frame.parent = core.frames[-1] if core.frames else None
+        if isinstance(op, OpenTx):
+            if depth == 0:
+                raise RuntimeError(
+                    "an open-nested transaction needs an enclosing "
+                    "transaction"
+                )
+            if mode == "lazy":
+                raise RuntimeError(
+                    "open nesting is not supported in lazy execution mode"
+                )
+            frame.open_nested = True
+            frame.compensate = op.compensate
+        core.frames.append(frame)
+        core.gen_stack.append(op.body())
+        self.tx_attempts += 1 if depth == 0 else 0
+        cost = self.config.htm.checkpoint_cycles + self.scheme.on_begin(core.idx, frame)
+        frame.tentative_cycles += cost
+        self._resume_after(core, cost)
+
+    def _on_generator_done(self, core: _Core, stop: StopIteration) -> None:
+        if len(core.gen_stack) == 1:
+            # the thread itself finished
+            ctx = core.ctx
+            ctx.gen_stack.pop()
+            ctx.done = True
+            ctx.finish_time = self.queue.now
+            core.finish_time = self.queue.now
+            core.ctx = None
+            core.status = IDLE
+            self._check_barriers()
+            self._dispatch_next(core)
+            if core.ctx is None and all(c.done for c in self._ctxs):
+                core.status = DONE
+            return
+        self._begin_commit(core, getattr(stop, "value", None))
+
+    def _begin_commit(self, core: _Core, tx_value: Any) -> None:
+        frame = core.frames[-1]
+        outermost = frame.depth == 0
+        if frame.vm.get("must_abort"):
+            core.doomed_depth = 0
+            self._begin_abort(core)
+            return
+        if outermost:
+            if frame.mode == "lazy":
+                holder = self._lazy_commit_holder
+                if holder is not None and holder != core.idx:
+                    # another lazy commit is in flight: arbitration stall
+                    self._stall(core, holder, ("commit", tx_value))
+                    return
+                self._lazy_commit_holder = core.idx
+                if not self.scheme.validate(core.idx, frame):
+                    self._lazy_commit_holder = None
+                    core.doomed_depth = 0
+                    self._begin_abort(core)
+                    return
+                blocker = self._lazy_commit_blocker(core, frame)
+                if blocker is not None:
+                    self._lazy_commit_holder = None
+                    self._stall_on(core, blocker, ("commit", tx_value))
+                    return
+                if self._multiplex and self._suspended_blocker(core, frame):
+                    # a suspended eager transaction overlaps our write
+                    # set: yield the core so it can finish first
+                    self._lazy_commit_holder = None
+                    core.pending_op = ("commit", tx_value)
+                    self._park(core, "stall")
+                    return
+                self._doom_lazy_losers(core, frame)
+                frame.vm["publishing"] = True
+            elif not self.scheme.validate(core.idx, frame):
+                core.doomed_depth = 0
+                self._begin_abort(core)
+                return
+        # an open-nested commit publishes like an outermost one
+        publishes = outermost or frame.open_nested
+        latency = self.scheme.commit(core.idx, frame, publishes)
+        core.charge("Committing", latency)
+        core.status = COMMITTING
+        self.queue.schedule(latency, lambda: self._finish_commit(core, tx_value))
+
+    def _finish_commit(self, core: _Core, tx_value: Any) -> None:
+        frame = core.frames.pop()
+        core.gen_stack.pop()
+        if self._lazy_commit_holder == core.idx:
+            self._lazy_commit_holder = None
+        if frame.depth == 0:
+            # publish and release isolation
+            self.memory.bulk_store(frame.write_buffer)
+            for line in frame.write_lines:
+                self._line_versions[line] = self._line_versions.get(line, 0) + 1
+            core.charge("Trans", frame.tentative_cycles)
+            self.commits += 1
+            core.consecutive_aborts = 0
+            frame.pending_compensations.clear()
+            self.scheme.note_outcome(core.idx, frame, committed=True)
+            self._wake_waiters(core)
+        elif frame.open_nested:
+            # open-nested commit (§IV-C): publish now, release isolation,
+            # and register the compensating action with the parent
+            self.memory.bulk_store(frame.write_buffer)
+            for line in frame.write_lines:
+                self._line_versions[line] = self._line_versions.get(line, 0) + 1
+            parent = core.frames[-1]
+            parent.tentative_cycles += frame.tentative_cycles
+            if frame.compensate is not None:
+                parent.vm.setdefault("compensations", []).append(
+                    frame.compensate
+                )
+            self.commits += 1
+            self._wake_waiters(core)
+        else:
+            parent = core.frames[-1]
+            parent.merge_child(frame)
+            self.scheme.merge_nested(parent, frame)
+        core.status = RUNNING
+        core.pending_send = tx_value if tx_value is not None else _SENTINEL_NONE
+        self._resume_after(core, 0)
+
+    def _begin_abort(self, core: _Core) -> None:
+        depth = core.doomed_depth if core.doomed_depth is not None else 0
+        core.doomed_depth = None
+        # discard any in-flight value or retried op from the doomed attempt
+        core.pending_send = None
+        core.pending_op = None
+        if not core.frames:
+            # nothing to abort (race with an already-finished abort)
+            core.status = RUNNING
+            self._resume_after(core, 0)
+            return
+        depth = min(depth, len(core.frames) - 1)
+        latency = 0
+        for frame in reversed(core.frames[depth:]):
+            latency += self.scheme.abort(
+                core.idx, frame, outermost=(frame.depth == depth)
+            )
+            core.charge("Wasted", frame.tentative_cycles)
+        core.charge("Aborting", latency)
+        core.status = ABORTING
+        self.aborts += 1
+        self.queue.schedule(latency, lambda: self._finish_abort(core, depth))
+
+    def _finish_abort(self, core: _Core, depth: int) -> None:
+        retry_frame = core.frames[depth]
+        self.scheme.note_outcome(core.idx, retry_frame, committed=False)
+        # compensations owed by committed open-nested children of the
+        # aborted attempt run as a prologue of the retry
+        for frame in core.frames[depth:]:
+            retry_frame.pending_compensations.extend(
+                frame.vm.get("compensations", ())
+            )
+        # drop the aborted levels (their signatures disarm here — the
+        # repair window just closed)
+        del core.frames[depth + 1:]
+        del core.gen_stack[depth + 2:]
+        core.gen_stack.pop()  # the aborted level's own generator
+        retry_frame.reset_for_retry(self.queue.now)
+        core.consecutive_aborts += 1
+        self._wake_waiters(core)
+        delay = self.backoff.delay(core.consecutive_aborts)
+        core.charge("Backoff", delay)
+        core.status = BACKOFF
+        self.queue.schedule(delay, lambda: self._retry_tx(core, depth))
+
+    def _retry_tx(self, core: _Core, depth: int) -> None:
+        frame = core.frames[depth]
+        if depth == 0:
+            # re-select the execution mode (DynTM may flip eager↔lazy);
+            # the timestamp is kept so older transactions keep priority
+            frame.mode = self.scheme.mode_for(core.idx, frame.site)
+        self.tx_attempts += 1 if depth == 0 else 0
+        if frame.pending_compensations:
+            original = frame.body_factory
+
+            def _compensating_body(frame=frame, original=original):
+                # each compensation is itself an open-nested transaction:
+                # it publishes immediately (undoing the earlier published
+                # effect) and is popped once durable, so a further abort
+                # neither loses nor repeats it
+                while frame.pending_compensations:
+                    comp = frame.pending_compensations[-1]
+                    yield OpenTx(comp)
+                    frame.pending_compensations.pop()
+                result = yield from original()
+                return result
+
+            core.gen_stack.append(_compensating_body())
+        else:
+            core.gen_stack.append(frame.body_factory())
+        cost = self.config.htm.checkpoint_cycles + self.scheme.on_begin(core.idx, frame)
+        frame.tentative_cycles += cost
+        core.status = RUNNING
+        self._resume_after(core, cost)
+
+    # ------------------------------------------------------------------
+    # memory accesses + conflict resolution
+    # ------------------------------------------------------------------
+    def _access(self, core: _Core, op: Read | Write) -> None:
+        line = op.addr >> LINE_SHIFT
+        is_write = isinstance(op, Write)
+        if not core.in_tx or self._frame_visible(core.frames[-1]):
+            conflict = self._find_conflict(core, line, is_write)
+            if conflict is not None:
+                kind = conflict[0]
+                if kind == "suspended":
+                    # the holder is a suspended transaction (its summary
+                    # signature matched).  Age-based resolution prevents
+                    # livelock between mutually-waiting suspended
+                    # transactions: an older transactional requester
+                    # dooms the younger suspended holder, which aborts
+                    # when rescheduled; otherwise the requester yields
+                    # its core so the suspended thread can finish.
+                    holder_ctx: _ThreadCtx = conflict[1]
+                    if core.in_tx and holder_ctx.frames:
+                        mine = (core.frames[0].timestamp, core.ctx.tid)
+                        theirs = (holder_ctx.frames[0].timestamp,
+                                  holder_ctx.tid)
+                        if mine < theirs:
+                            holder_ctx.doomed_depth = 0
+                    core.pending_op = op
+                    if self._multiplex:
+                        self._park(core, "stall")
+                    else:  # pragma: no cover — cannot happen off-multiplex
+                        self._resume_retry(core, self.config.htm.stall_retry_period)
+                    return
+                if core.in_tx:
+                    self._resolve_conflict(core, conflict[1], op)
+                else:
+                    # strong isolation: the non-transactional access waits
+                    # out the conflicting transaction (it cannot deadlock)
+                    self._stall_on(core, conflict[1], op)
+                return
+        self._perform_access(core, op, line, is_write)
+
+    def _perform_access(
+        self, core: _Core, op: Read | Write, line: int, is_write: bool
+    ) -> None:
+        scheme = self.scheme
+        if core.in_tx:
+            frame = core.frames[-1]
+            if is_write:
+                frame.record_write(line)
+                extra, phys = scheme.pre_write(core.idx, frame, line)
+                spec = self._speculative_for(frame)
+                if frame.vm.pop("allocate_write", False):
+                    # fresh-line allocation (SUV pool): no fetch below
+                    result = self.hierarchy.allocate_write(core.idx, phys, spec)
+                elif self._local_writes_for(frame):
+                    result = self.hierarchy.local_write(core.idx, phys, spec)
+                else:
+                    result = self.hierarchy.write(core.idx, phys, speculative=spec)
+                extra += scheme.post_write(core.idx, frame, line, result)
+                frame.write_buffer[op.addr] = op.value
+                latency = result.latency + extra
+            else:
+                frame.record_read(line)
+                extra, phys = scheme.pre_read(core.idx, frame, line)
+                result = self.hierarchy.read(core.idx, phys)
+                value = self._tx_read_value(core, op.addr)
+                core.pending_send = value if value is not None else _SENTINEL_NONE
+                latency = result.latency + extra
+            frame.tentative_cycles += latency
+            if frame.vm.get("must_abort"):
+                core.doomed_depth = 0
+                # the overflow is noticed when the access completes
+                self.queue.schedule(latency, lambda: self._begin_abort(core))
+                return
+            self._resume_after(core, latency)
+        else:
+            extra, phys = scheme.nontx_translate(core.idx, line)
+            if is_write:
+                result = self.hierarchy.write(core.idx, phys)
+                self.memory.store(op.addr, op.value)
+            else:
+                result = self.hierarchy.read(core.idx, phys)
+                value = self.memory.load(op.addr)
+                core.pending_send = value if value is not None else _SENTINEL_NONE
+            core.charge("NoTrans", result.latency + extra)
+            self._resume_after(core, result.latency + extra)
+
+    def _tx_read_value(self, core: _Core, addr: int) -> int:
+        for frame in reversed(core.frames):
+            if addr in frame.write_buffer:
+                return frame.write_buffer[addr]
+        return self.memory.load(addr)
+
+    # -- conflicts -------------------------------------------------------
+    def _frame_visible(self, frame: TxFrame) -> bool:
+        # lazy transactions are invisible while executing, but once they
+        # start publishing they hold coherence permissions: accesses that
+        # conflict with a publishing committer must stall
+        return frame.mode != "lazy" or bool(frame.vm.get("publishing"))
+
+    def _speculative_for(self, frame: TxFrame) -> bool:
+        per_frame = getattr(self.scheme, "speculative_for", None)
+        if per_frame is not None:
+            return per_frame(frame)
+        return self.scheme.wants_speculative_marking()
+
+    def _local_writes_for(self, frame: TxFrame) -> bool:
+        per_frame = getattr(self.scheme, "local_writes_for", None)
+        if per_frame is not None:
+            return per_frame(frame)
+        return self.scheme.uses_local_writes()
+
+    def _frames_conflict(
+        self, frames: list[TxFrame], line: int, is_write: bool
+    ) -> TxFrame | None:
+        for frame in frames:
+            if not self._frame_visible(frame):
+                continue
+            if is_write:
+                if frame.may_read_conflict(line):
+                    return frame
+            elif frame.may_write_conflict(line):
+                return frame
+        return None
+
+    def _find_conflict(
+        self, core: _Core, line: int, is_write: bool
+    ) -> tuple[str, Any] | None:
+        """The first conflicting holder: ("core", idx) or ("suspended", ctx)."""
+        for other in self.cores:
+            if other.idx == core.idx or other.ctx is None or not other.frames:
+                continue
+            if self._frames_conflict(other.frames, line, is_write) is not None:
+                return ("core", other.idx)
+        if self._multiplex:
+            # suspended transactions' signatures stay armed (the summary
+            # signature of Section IV-C)
+            for ctx in self._ctxs:
+                if ctx.done or not ctx.frames or ctx is core.ctx:
+                    continue
+                if any(c.ctx is ctx for c in self.cores):
+                    continue  # mounted: handled above
+                if self._frames_conflict(ctx.frames, line, is_write) is not None:
+                    return ("suspended", ctx)
+        return None
+
+    def _resolve_conflict(self, core: _Core, holder_idx: int, op: Any) -> None:
+        if self.config.htm.policy == "abort_requester":
+            # the conflicting access belongs to the innermost frame, so a
+            # partial abort of that level suffices (LogTM-Nested): outer
+            # levels keep their work and the inner body re-executes
+            core.doomed_depth = len(core.frames) - 1
+            self._begin_abort(core)
+            return
+        if self.config.htm.policy == "abort_responder":
+            # the paper's alternative: "make the receiving core ... abort
+            # its transaction to guarantee the execution of the
+            # requester's transaction"; the requester waits out the
+            # holder's (brief) abort processing
+            self._doom(holder_idx, 0)
+            self._stall_on(core, holder_idx, op)
+            return
+        # Stall policy with wait-for cycle detection
+        cycle = self._wait_cycle(core.idx, holder_idx)
+        if cycle:
+            victim_idx = self._youngest(cycle)
+            if victim_idx == core.idx:
+                core.doomed_depth = 0
+                self._begin_abort(core)
+                return
+            self._doom(victim_idx, 0)
+        self._stall_on(core, holder_idx, op)
+
+    def _wait_cycle(self, requester: int, holder: int) -> list[int] | None:
+        """Cores on the wait-path if requester→holder closes a cycle."""
+        path = [requester]
+        cur: int | None = holder
+        while cur is not None:
+            path.append(cur)
+            if cur == requester:
+                return path
+            cur = self.cores[cur].waiting_on
+        return None
+
+    def _youngest(self, cycle: list[int]) -> int:
+        """The youngest transaction (largest begin timestamp) to abort."""
+        candidates = [
+            i for i in set(cycle)
+            if self.cores[i].frames and self.cores[i].status not in (COMMITTING,)
+        ]
+        if not candidates:
+            return cycle[0]
+        return max(
+            candidates, key=lambda i: (self.cores[i].frames[0].timestamp, i)
+        )
+
+    def _doom(self, victim_idx: int, depth: int) -> None:
+        victim = self.cores[victim_idx]
+        if (victim.ctx is None or not victim.frames
+                or victim.status in (COMMITTING, ABORTING, DONE)):
+            return
+        victim.doomed_depth = (
+            depth if victim.doomed_depth is None
+            else min(victim.doomed_depth, depth)
+        )
+        if victim.status == STALLED:
+            self._unstall(victim)
+            self._begin_abort(victim)
+        elif victim.status == BARRIER:
+            raise AssertionError("barriers inside transactions are not allowed")
+        # RUNNING / BACKOFF victims notice the doom at their next event
+
+    # -- stalling ---------------------------------------------------------
+    def _stall(self, core: _Core, holder_idx: int, op: Any) -> None:
+        self._stall_on(core, holder_idx, op)
+
+    def _stall_on(self, core: _Core, holder_idx: int, op: Any) -> None:
+        holder = self.cores[holder_idx]
+        if holder.ctx is None or not holder.frames:
+            # the holder finished in the meantime: retry immediately
+            core.pending_op = op
+            self._resume_retry(core, 0)
+            return
+        core.status = STALLED
+        core.pending_op = op
+        core.waiting_on = holder_idx
+        core.stall_start = self.queue.now
+        holder.waiters.add(core.idx)
+        core.retry_event = self.queue.schedule(
+            self.config.htm.stall_retry_period, lambda: self._stall_retry(core)
+        )
+
+    def _unstall(self, core: _Core) -> None:
+        core.charge("Stalled", self.queue.now - core.stall_start)
+        if core.retry_event is not None:
+            core.retry_event.cancel()
+            core.retry_event = None
+        if core.waiting_on is not None:
+            self.cores[core.waiting_on].waiters.discard(core.idx)
+            core.waiting_on = None
+        core.status = RUNNING
+
+    def _stall_retry(self, core: _Core) -> None:
+        if core.status != STALLED:
+            return
+        self._unstall(core)
+        self._retry_pending(core)
+
+    def _wake_waiters(self, core: _Core) -> None:
+        for waiter_idx in sorted(core.waiters):
+            waiter = self.cores[waiter_idx]
+            if waiter.status != STALLED or waiter.waiting_on != core.idx:
+                continue
+            waiter.charge("Stalled", self.queue.now - waiter.stall_start)
+            if waiter.retry_event is not None:
+                waiter.retry_event.cancel()
+                waiter.retry_event = None
+            waiter.waiting_on = None
+            waiter.status = RUNNING
+            self.queue.schedule(0, lambda w=waiter: self._retry_pending(w))
+        core.waiters.clear()
+
+    def _resume_retry(self, core: _Core, delay: int) -> None:
+        self.queue.schedule(delay, lambda: self._retry_pending(core))
+
+    def _retry_pending(self, core: _Core) -> None:
+        if core.status == DONE or core.ctx is None:
+            return
+        if core.doomed_depth is not None:
+            self._begin_abort(core)
+            return
+        op, core.pending_op = core.pending_op, None
+        if op is None:
+            self._step(core)
+            return
+        if isinstance(op, tuple) and op and op[0] == "commit":
+            core.status = RUNNING
+            self._begin_commit(core, op[1])
+        else:
+            core.status = RUNNING
+            self._access(core, op)
+
+    # -- lazy-commit interplay ---------------------------------------------
+    def _lazy_commit_blocker(self, core: _Core, frame: TxFrame) -> int | None:
+        """An eager transaction the lazy committer must wait for, if any."""
+        for other in self.cores:
+            if other.idx == core.idx or other.ctx is None or not other.frames:
+                continue
+            for oframe in other.frames:
+                if not self._frame_visible(oframe):
+                    continue
+                for line in frame.write_lines:
+                    if oframe.may_read_conflict(line):
+                        return other.idx
+        return None
+
+    def _suspended_blocker(self, core: _Core, frame: TxFrame) -> bool:
+        """Does a suspended *visible* (eager) transaction overlap our
+        write set?  The lazy committer must let it finish first."""
+        mounted = {c.ctx for c in self.cores}
+        for ctx in self._ctxs:
+            if ctx.done or not ctx.frames or ctx in mounted or ctx is core.ctx:
+                continue
+            for oframe in ctx.frames:
+                if not self._frame_visible(oframe):
+                    continue
+                if any(oframe.may_read_conflict(line)
+                       for line in frame.write_lines):
+                    return True
+        return False
+
+    def _doom_lazy_losers(self, core: _Core, frame: TxFrame) -> None:
+        """Committer wins: abort lazy transactions overlapping our writes."""
+        for other in self.cores:
+            if other.idx == core.idx or other.ctx is None or not other.frames:
+                continue
+            if self._frame_visible(other.frames[0]):
+                continue
+            for oframe in other.frames:
+                if any(
+                    oframe.read_sig.test(line) or oframe.write_sig.test(line)
+                    for line in frame.write_lines
+                ):
+                    self._doom(other.idx, 0)
+                    break
+        if self._multiplex:
+            # suspended lazy transactions lose too: they notice on resume
+            mounted = {c.ctx for c in self.cores}
+            for ctx in self._ctxs:
+                if ctx.done or not ctx.frames or ctx in mounted:
+                    continue
+                if self._frame_visible(ctx.frames[0]):
+                    continue
+                if any(
+                    f.read_sig.test(line) or f.write_sig.test(line)
+                    for f in ctx.frames for line in frame.write_lines
+                ):
+                    ctx.doomed_depth = 0
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+    def _enter_barrier(self, core: _Core, op: Barrier) -> None:
+        if core.in_tx:
+            raise RuntimeError("Barrier inside a transaction is not allowed")
+        ctx = core.ctx
+        ctx.barrier_bid = op.bid
+        ctx.barrier_start = self.queue.now
+        self._barrier_arrived.setdefault(op.bid, set()).add(ctx.tid)
+        if self._multiplex:
+            # release the core while waiting so unstarted threads can run
+            self._barrier_parked.setdefault(op.bid, []).append(ctx)
+            self._park(core, "barrier")
+        else:
+            core.status = BARRIER
+        self._check_barriers()
+
+    def _check_barriers(self) -> None:
+        live = {ctx.tid for ctx in self._ctxs if not ctx.done}
+        for bid, arrived in list(self._barrier_arrived.items()):
+            waiting_ctxs = [
+                ctx for ctx in self._ctxs
+                if not ctx.done and ctx.barrier_bid == bid
+            ]
+            waiting = {ctx.tid for ctx in waiting_ctxs}
+            if waiting and waiting >= live:
+                del self._barrier_arrived[bid]
+                parked = self._barrier_parked.pop(bid, [])
+                for ctx in sorted(waiting_ctxs, key=lambda c: c.tid):
+                    ctx.barrier_bid = None
+                    wait = self.queue.now - ctx.barrier_start
+                    if ctx in parked:
+                        self.cores[ctx.last_core].charge("Barrier", wait)
+                        ctx.park_reason = None
+                        self._ready.append(ctx)
+                    else:
+                        c = self.cores[ctx.last_core]
+                        c.charge("Barrier", wait)
+                        c.status = RUNNING
+                        self.queue.schedule(0, lambda cc=c: self._step(cc))
+                self._schedule_ready()
+
+
+class _NoneSentinel:
+    """Distinguishes "send None" from "nothing pending" in the step loop."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "<none>"
+
+
+_SENTINEL_NONE = _NoneSentinel()

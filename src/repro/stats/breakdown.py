@@ -1,0 +1,75 @@
+"""Execution-time breakdown (paper Figures 6 and 9).
+
+The paper decomposes execution time into: *NoTrans* (non-transactional
+work), *Trans* (un-stalled transactional work that committed), *Barrier*,
+*Backoff* (post-abort stalling), *Stalled* (conflict-resolution stalls),
+*Wasted* (work of aborted transactions), and *Aborting* (rollback
+processing).  Figure 9 adds *Committing* (commit processing of DynTM's
+lazy mode); we track it for every scheme — for the eager schemes it is
+the near-zero cost of discarding a log or flipping redirect-entry bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: component names, in the paper's stacking order
+COMPONENTS = (
+    "NoTrans",
+    "Trans",
+    "Barrier",
+    "Backoff",
+    "Stalled",
+    "Wasted",
+    "Aborting",
+    "Committing",
+)
+
+#: the necessary-cost components; the rest is serialization overhead
+USEFUL = ("NoTrans", "Trans", "Barrier")
+
+
+@dataclass
+class Breakdown:
+    """Per-component cycle totals (summed over cores unless noted)."""
+
+    cycles: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in COMPONENTS}
+    )
+
+    def add(self, component: str, amount: int) -> None:
+        if component not in self.cycles:
+            raise KeyError(f"unknown component {component!r}")
+        if amount < 0:
+            raise ValueError(f"negative time {amount} for {component}")
+        self.cycles[component] += amount
+
+    def merge(self, other: "Breakdown") -> "Breakdown":
+        for comp, amt in other.cycles.items():
+            self.cycles[comp] += amt
+        return self
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    @property
+    def overhead(self) -> int:
+        """Cycles spent serializing transactions (non-useful components)."""
+        return sum(v for k, v in self.cycles.items() if k not in USEFUL)
+
+    def fraction(self, component: str) -> float:
+        return self.cycles[component] / self.total if self.total else 0.0
+
+    def normalized_to(self, baseline_total: int) -> dict[str, float]:
+        """Each component as a fraction of a baseline total (Figure 6)."""
+        if baseline_total <= 0:
+            raise ValueError("baseline total must be positive")
+        return {c: self.cycles[c] / baseline_total for c in COMPONENTS}
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.cycles)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c}={v}" for c, v in self.cycles.items() if v)
+        return f"Breakdown({parts or 'empty'})"

@@ -1,0 +1,98 @@
+"""ASCII chart rendering for the regenerated figures.
+
+The paper's figures are stacked bar charts (execution-time breakdowns)
+and line plots (sensitivity sweeps); these helpers render terminal
+equivalents so `pytest benchmarks/` output resembles the figures, not
+just their tables.
+"""
+
+from __future__ import annotations
+
+from repro.stats.breakdown import COMPONENTS, Breakdown
+
+#: one glyph per breakdown component, in stacking order
+GLYPHS = {
+    "NoTrans": ".",
+    "Trans": "#",
+    "Barrier": "=",
+    "Backoff": "b",
+    "Stalled": "s",
+    "Wasted": "w",
+    "Aborting": "A",
+    "Committing": "C",
+}
+
+
+def stacked_bar(
+    breakdown: Breakdown, baseline_total: int, width: int = 60
+) -> str:
+    """One stacked bar scaled so ``baseline_total`` spans ``width``."""
+    if baseline_total <= 0:
+        raise ValueError("baseline total must be positive")
+    chars: list[str] = []
+    carry = 0.0
+    for comp in COMPONENTS:
+        exact = breakdown.cycles[comp] / baseline_total * width + carry
+        n = int(round(exact))
+        carry = exact - n
+        chars.append(GLYPHS[comp] * max(0, n))
+    return "".join(chars)
+
+
+def breakdown_chart(
+    results: dict[str, Breakdown],
+    baseline: str | None = None,
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """A Figure 6/9-style stacked bar chart, normalized to ``baseline``."""
+    if not results:
+        return "(no results)"
+    base_label = baseline if baseline is not None else next(iter(results))
+    base_total = results[base_label].total or 1
+    label_w = max(len(k) for k in results)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, bd in results.items():
+        bar = stacked_bar(bd, base_total, width)
+        lines.append(f"{label.ljust(label_w)} |{bar}| {bd.total / base_total:.2f}")
+    legend = "  ".join(f"{g}={c}" for c, g in GLYPHS.items())
+    lines.append(f"{''.ljust(label_w)}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    points: list[tuple[float, float]],
+    width: int = 56,
+    height: int = 12,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """A minimal scatter/line plot on a character grid."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.3g} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(f"{'':12}{x_lo:<.4g}{x_label:^{max(0, width - 16)}}{x_hi:>.4g}")
+    if y_label:
+        lines.append(f"            (y: {y_label})")
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""JSON export of simulation results (for external tooling/plots)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.simulator import SimResult
+
+
+def result_to_dict(result: SimResult, include_memory: bool = False) -> dict:
+    """A JSON-serializable summary of one run."""
+    out: dict[str, Any] = {
+        "scheme": result.scheme,
+        "total_cycles": result.total_cycles,
+        "breakdown": result.breakdown.as_dict(),
+        "commits": result.commits,
+        "aborts": result.aborts,
+        "tx_attempts": result.tx_attempts,
+        "abort_ratio": result.abort_ratio,
+        "n_threads": result.n_threads,
+        "context_switches": result.context_switches,
+        "events_executed": result.events_executed,
+        "scheme_stats": {k: float(v) for k, v in result.scheme_stats.items()},
+    }
+    if include_memory:
+        out["memory"] = {str(k): v for k, v in result.memory.items()}
+    return out
+
+
+def results_to_json(
+    results: dict[str, SimResult], indent: int = 2, **kw: Any
+) -> str:
+    """Serialize a {label: result} mapping (e.g. one row of Figure 6)."""
+    return json.dumps(
+        {label: result_to_dict(res, **kw) for label, res in results.items()},
+        indent=indent,
+        sort_keys=True,
+    )

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.stats.breakdown import COMPONENTS, Breakdown
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_breakdown_table(
+    results: dict[str, Breakdown],
+    baseline: str | None = None,
+    title: str = "",
+) -> str:
+    """Render execution-time breakdowns, normalized to ``baseline``.
+
+    ``results`` maps a label (scheme name) to its breakdown; the
+    normalization baseline defaults to the first label, mirroring the
+    paper's Figure 6 normalization to LogTM-SE.
+    """
+    if not results:
+        return "(no results)"
+    base_label = baseline if baseline is not None else next(iter(results))
+    base_total = results[base_label].total or 1
+    headers = ["scheme", *COMPONENTS, "total(norm)"]
+    rows = []
+    for label, bd in results.items():
+        norm = bd.normalized_to(base_total)
+        rows.append(
+            [label, *(f"{norm[c]:.3f}" for c in COMPONENTS),
+             f"{bd.total / base_total:.3f}"]
+        )
+    return format_table(headers, rows, title=title)

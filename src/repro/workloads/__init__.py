@@ -1,0 +1,39 @@
+"""STAMP-like transactional workloads (paper Table IV).
+
+Each workload is a re-implementation of the corresponding STAMP
+application's algorithm and data structures as a transactional program
+over the :mod:`repro.htm.ops` protocol, with inputs scaled for a
+behavioural simulator.  Every program computes a real result and ships a
+verifier so the functional correctness of each version-management
+scheme is checked, not assumed.
+
+============  =========================================  ==========
+name          kernel                                     contention
+============  =========================================  ==========
+bayes         Bayes-net structure learning (hill climb)  high
+genome        segment dedup + overlap chaining            high
+intruder      packet reassembly + detection               high
+kmeans        k-means clustering                          low
+labyrinth     3-D grid path routing (Lee algorithm)       high
+ssca2         graph construction kernel                   low
+vacation      travel-reservation database                 low
+yada          Delaunay-style mesh refinement              high
+============  =========================================  ==========
+"""
+
+from repro.workloads.base import AddressSpace, Program, load, store
+from repro.workloads.registry import (
+    HIGH_CONTENTION,
+    WORKLOAD_NAMES,
+    make_workload,
+)
+
+__all__ = [
+    "AddressSpace",
+    "HIGH_CONTENTION",
+    "Program",
+    "WORKLOAD_NAMES",
+    "load",
+    "make_workload",
+    "store",
+]

@@ -1,0 +1,213 @@
+"""genome — gene sequencing by segment dedup and overlap chaining.
+
+STAMP's genome reconstructs a gene from random segments in transactional
+phases:
+
+1. **deduplication** — every segment is inserted into a shared hash-set
+   (transaction per insert); duplicates are dropped.
+2. **indexing** — each unique segment's *prefix* is inserted into a
+   shared prefix hash table (transaction per insert).
+3. **matching** — each thread looks up its segments' *suffixes* in the
+   prefix table and links overlapping segments (``suffix_k(a) ==
+   prefix_k(b)``), claiming the successor transactionally so every
+   segment gains at most one predecessor — exactly the Pass-2 chaining
+   of the original.
+
+Transactions are short-to-medium and the hash buckets are hot, giving
+the "high contention" class of Table IV.  The verifier checks the exact
+unique-segment set, that every link is a true k-symbol overlap, and
+that no segment has two predecessors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.htm.ops import Barrier, Read, Tx, Work, Write
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+#: hash-set node field offsets (in words)
+NODE_VALUE, NODE_NEXT, NODE_SIZE = 0, 1, 2
+#: per-unique-segment link record: successor index + 1, has-predecessor
+LINK_NEXT, LINK_HAS_PRED, LINK_SIZE = 0, 1, 2
+
+
+def make_genome(
+    n_threads: int = 16,
+    seed: int = 1,
+    gene_length: int = 256,
+    segment_length: int = 16,
+    n_segments: int = 512,
+    n_buckets: int = 32,
+    overlap: int | None = None,
+    work_per_op: int = 30,
+) -> Program:
+    """Build the genome program (paper input: -g256 -s16 -n16384, scaled)."""
+    rng = np.random.default_rng(seed)
+    gene = rng.integers(0, 4, size=gene_length)
+    starts = rng.integers(0, gene_length - segment_length, size=n_segments)
+    seg_tuples = [tuple(int(x) for x in gene[s:s + segment_length])
+                  for s in starts]
+
+    def encode(symbols: tuple[int, ...]) -> int:
+        out = 0
+        for s in symbols:
+            out = (out << 2) | s
+        return out
+
+    segments = [encode(t) for t in seg_tuples]
+    unique_segments = sorted(set(segments))
+    seg_index = {seg: i for i, seg in enumerate(unique_segments)}
+    unique_tuples = {encode(t): t for t in seg_tuples}
+    k = overlap if overlap is not None else segment_length - 1
+
+    def prefix_of(seg: int) -> tuple[int, ...]:
+        return unique_tuples[seg][:k]
+
+    def suffix_of(seg: int) -> tuple[int, ...]:
+        return unique_tuples[seg][-k:]
+
+    space = AddressSpace()
+    buckets = space.alloc("buckets", n_buckets, pad_lines=True)
+    pool = space.alloc("node_pool", n_segments * NODE_SIZE)
+    pool_cursor = space.alloc("pool_cursor", 1)
+    unique_count = space.alloc("unique_count", 1)
+    # phase 2: prefix index
+    pbuckets = space.alloc("prefix_buckets", n_buckets, pad_lines=True)
+    ppool = space.alloc("prefix_pool", n_segments * NODE_SIZE)
+    ppool_cursor = space.alloc("prefix_pool_cursor", 1)
+    # phase 3: links
+    links = space.alloc("links", n_segments * LINK_SIZE)
+    link_count = space.alloc("link_count", 1)
+
+    def node_addr(base: int, index: int, f: int) -> int:
+        return space.word(base, index * NODE_SIZE + f)
+
+    def link_addr(index: int, f: int) -> int:
+        return space.word(links, index * LINK_SIZE + f)
+
+    def bucket_of(value: int) -> int:
+        return (value * 2654435761) % n_buckets
+
+    per_thread = [segments[t::n_threads] for t in range(n_threads)]
+    uniq_per_thread = [unique_segments[t::n_threads] for t in range(n_threads)]
+
+    def make_thread(tid: int):
+        def thread():
+            # ---- phase 1: transactional dedup insert ----
+            for seg in per_thread[tid]:
+                def insert(seg=seg):
+                    bucket_addr = space.word(buckets, bucket_of(seg),
+                                             padded=True)
+                    yield Work(work_per_op)  # hash computation
+                    head = yield Read(bucket_addr)
+                    node = head
+                    while node:
+                        value = yield Read(node_addr(pool, node - 1, NODE_VALUE))
+                        if value == seg:
+                            return
+                        node = yield Read(node_addr(pool, node - 1, NODE_NEXT))
+                    cursor = yield Read(pool_cursor)
+                    yield Write(pool_cursor, cursor + 1)
+                    yield Write(node_addr(pool, cursor, NODE_VALUE), seg)
+                    yield Write(node_addr(pool, cursor, NODE_NEXT), head)
+                    yield Write(bucket_addr, cursor + 1)
+                    count = yield Read(unique_count)
+                    yield Write(unique_count, count + 1)
+                yield Tx(insert, site=1)
+                yield Work(work_per_op)
+            yield Barrier(100)
+
+            # ---- phase 2: index every unique segment by prefix ----
+            for seg in uniq_per_thread[tid]:
+                def index(seg=seg):
+                    key = encode(prefix_of(seg))
+                    bucket_addr = space.word(pbuckets, bucket_of(key),
+                                             padded=True)
+                    yield Work(work_per_op)
+                    head = yield Read(bucket_addr)
+                    cursor = yield Read(ppool_cursor)
+                    yield Write(ppool_cursor, cursor + 1)
+                    yield Write(node_addr(ppool, cursor, NODE_VALUE),
+                                seg_index[seg] + 1)
+                    yield Write(node_addr(ppool, cursor, NODE_NEXT), head)
+                    yield Write(bucket_addr, cursor + 1)
+                yield Tx(index, site=2)
+            yield Barrier(101)
+
+            # ---- phase 3: match suffix → prefix and link ----
+            for seg in uniq_per_thread[tid]:
+                def match(seg=seg):
+                    me = seg_index[seg]
+                    key = encode(suffix_of(seg))
+                    bucket_addr = space.word(pbuckets, bucket_of(key),
+                                             padded=True)
+                    node = yield Read(bucket_addr)
+                    while node:
+                        cand_idx = (yield Read(
+                            node_addr(ppool, node - 1, NODE_VALUE))) - 1
+                        yield Work(work_per_op)  # symbol comparison
+                        cand = unique_segments[cand_idx]
+                        if (cand_idx != me
+                                and prefix_of(cand) == suffix_of(seg)):
+                            taken = yield Read(link_addr(cand_idx,
+                                                         LINK_HAS_PRED))
+                            mine = yield Read(link_addr(me, LINK_NEXT))
+                            if not taken and not mine:
+                                yield Write(link_addr(cand_idx,
+                                                      LINK_HAS_PRED), 1)
+                                yield Write(link_addr(me, LINK_NEXT),
+                                            cand_idx + 1)
+                                n = yield Read(link_count)
+                                yield Write(link_count, n + 1)
+                                return
+                        node = yield Read(node_addr(ppool, node - 1,
+                                                    NODE_NEXT))
+                yield Tx(match, site=3)
+                yield Work(work_per_op)
+        return thread
+
+    def verifier(memory: dict[int, int]) -> None:
+        n_unique = mem_get(memory, unique_count)
+        assert n_unique == len(unique_segments), (
+            f"dedup found {n_unique} unique, expected {len(unique_segments)}"
+        )
+        used_nodes = mem_get(memory, pool_cursor)
+        assert used_nodes == len(unique_segments)
+        found = sorted(
+            mem_get(memory, node_addr(pool, i, NODE_VALUE))
+            for i in range(used_nodes)
+        )
+        assert found == unique_segments
+        # the prefix index holds every unique segment exactly once
+        assert mem_get(memory, ppool_cursor) == len(unique_segments)
+        # links are true overlaps, and nobody has two predecessors
+        n_links = 0
+        pred_count: dict[int, int] = {}
+        for i, seg in enumerate(unique_segments):
+            nxt = mem_get(memory, link_addr(i, LINK_NEXT))
+            if nxt:
+                succ = unique_segments[nxt - 1]
+                assert suffix_of(seg) == prefix_of(succ), (
+                    f"link {i}→{nxt - 1} is not a {k}-symbol overlap"
+                )
+                pred_count[nxt - 1] = pred_count.get(nxt - 1, 0) + 1
+                n_links += 1
+        assert all(v == 1 for v in pred_count.values())
+        for idx, cnt in pred_count.items():
+            assert mem_get(memory, link_addr(idx, LINK_HAS_PRED)) == 1
+        assert n_links == mem_get(memory, link_count)
+
+    return Program(
+        name="genome",
+        threads=[make_thread(t) for t in range(n_threads)],
+        params=dict(
+            gene_length=gene_length,
+            segment_length=segment_length,
+            n_segments=n_segments,
+            n_buckets=n_buckets,
+            overlap=k,
+        ),
+        contention="high",
+        verifier=verifier,
+    )

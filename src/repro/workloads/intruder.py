@@ -1,0 +1,180 @@
+"""intruder — signature-based network intrusion detection.
+
+STAMP's intruder pushes packet fragments through three phases:
+
+* **capture** — pop a fragment from a shared queue (transactional);
+* **reassembly** — store the fragment's payload chunk into the flow's
+  buffer and count it; the last fragment completes the flow
+  (transactional);
+* **detection** — scan the reassembled payload for known attack
+  signatures (non-transactional compute over the completed buffer),
+  then record any verdict (transactional).
+
+The shared queue head and the flow-completion counters make the many
+tiny transactions conflict frequently: Table IV's shortest,
+high-contention workload.  Payloads are real data: the verifier
+re-runs the signature matcher sequentially and demands the same set of
+detected attacks, plus exact reassembly of every flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.htm.ops import Barrier, Read, Tx, Work, Write
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+#: payload words per fragment
+CHUNK = 2
+#: the attack signatures scanned for (word patterns)
+ATTACK_SIGNATURES = ((7, 13), (42, 42))
+
+
+def _contains_signature(payload: list[int]) -> bool:
+    for sig in ATTACK_SIGNATURES:
+        for i in range(len(payload) - len(sig) + 1):
+            if tuple(payload[i:i + len(sig)]) == sig:
+                return True
+    return False
+
+
+def make_intruder(
+    n_threads: int = 16,
+    seed: int = 1,
+    n_flows: int = 64,
+    max_fragments: int = 4,
+    attack_fraction: float = 0.25,
+    work_scan: int = 60,
+) -> Program:
+    """Build the intruder program (paper input: -a10 -l4 -n2038, scaled)."""
+    rng = np.random.default_rng(seed)
+    frags_per_flow = rng.integers(1, max_fragments + 1, size=n_flows)
+
+    # real payloads; a fraction get an attack signature implanted
+    payloads: list[list[int]] = []
+    for f in range(n_flows):
+        words = [int(w) for w in rng.integers(0, 100, frags_per_flow[f] * CHUNK)]
+        if rng.random() < attack_fraction:
+            sig = ATTACK_SIGNATURES[int(rng.integers(len(ATTACK_SIGNATURES)))]
+            pos = int(rng.integers(0, max(1, len(words) - len(sig) + 1)))
+            words[pos:pos + len(sig)] = list(sig)
+        payloads.append(words)
+    expected_attacks = {
+        f for f, p in enumerate(payloads) if _contains_signature(p)
+    }
+
+    packets: list[tuple[int, int]] = [
+        (f, i) for f in range(n_flows) for i in range(frags_per_flow[f])
+    ]
+    order = rng.permutation(len(packets))
+    packets = [packets[i] for i in order]
+    n_packets = len(packets)
+
+    space = AddressSpace()
+    queue = space.alloc("packet_queue", n_packets)
+    queue_head = space.alloc("queue_head", 1)
+    flow_received = space.alloc("flow_received", n_flows)
+    flow_done = space.alloc("flow_done", n_flows)
+    flow_buffers = space.alloc("flow_buffers",
+                               n_flows * max_fragments * CHUNK)
+    attacks_found = space.alloc("attacks_found", 1)
+    attack_flags = space.alloc("attack_flags", n_flows)
+    processed = space.alloc("processed", 1)
+
+    def buf_addr(flow: int, word: int) -> int:
+        return space.word(flow_buffers, flow * max_fragments * CHUNK + word)
+
+    def make_thread(tid: int):
+        def thread():
+            if tid == 0:
+                # thread 0 injects the packet trace into the shared queue
+                # (encoded as flow * max_fragments + fragment + 1)
+                for i, (flow, frag) in enumerate(packets):
+                    yield Write(
+                        space.word(queue, i), flow * max_fragments + frag + 1
+                    )
+            yield Barrier(0)
+
+            while True:
+                # -- capture: transactional pop of the next packet
+                def pop():
+                    head = yield Read(queue_head)
+                    if head >= n_packets:
+                        return -1
+                    pkt = yield Read(space.word(queue, head))
+                    yield Write(queue_head, head + 1)
+                    return pkt
+                pkt = yield Tx(pop, site=1)
+                if pkt is None or pkt < 0:
+                    break
+                flow = (pkt - 1) // max_fragments
+                frag = (pkt - 1) % max_fragments
+
+                # -- reassembly: store the chunk, count the fragment
+                def assemble(flow=flow, frag=frag):
+                    chunk = payloads[flow][frag * CHUNK:(frag + 1) * CHUNK]
+                    for j, w in enumerate(chunk):
+                        yield Write(buf_addr(flow, frag * CHUNK + j), w + 1)
+                    got = yield Read(space.word(flow_received, flow))
+                    yield Write(space.word(flow_received, flow), got + 1)
+                    done = yield Read(space.word(flow_done, flow))
+                    if got + 1 == int(frags_per_flow[flow]) and not done:
+                        yield Write(space.word(flow_done, flow), 1)
+                        return True
+                    return False
+                completed = yield Tx(assemble, site=2)
+
+                # -- detection: scan the reassembled payload
+                if completed:
+                    n_words = int(frags_per_flow[flow]) * CHUNK
+                    payload = []
+                    for j in range(n_words):
+                        w = yield Read(buf_addr(flow, j))
+                        payload.append(w - 1)
+                    yield Work(work_scan * n_words)
+                    if _contains_signature(payload):
+                        def report(flow=flow):
+                            found = yield Read(attacks_found)
+                            yield Write(attacks_found, found + 1)
+                            yield Write(space.word(attack_flags, flow), 1)
+                        yield Tx(report, site=3)
+
+                def count():
+                    done = yield Read(processed)
+                    yield Write(processed, done + 1)
+                yield Tx(count, site=4)
+        return thread
+
+    def verifier(memory: dict[int, int]) -> None:
+        assert mem_get(memory, processed) == n_packets
+        assert mem_get(memory, queue_head) >= n_packets
+        for f in range(n_flows):
+            got = mem_get(memory, space.word(flow_received, f))
+            assert got == int(frags_per_flow[f]), f"flow {f} lost fragments"
+            assert mem_get(memory, space.word(flow_done, f)) == 1
+            # exact reassembly
+            for j in range(int(frags_per_flow[f]) * CHUNK):
+                assert mem_get(memory, buf_addr(f, j)) == payloads[f][j] + 1, (
+                    f"flow {f}: payload word {j} corrupted"
+                )
+        flagged = {
+            f for f in range(n_flows)
+            if mem_get(memory, space.word(attack_flags, f))
+        }
+        assert flagged == expected_attacks, (
+            f"attacks {sorted(flagged)} != expected {sorted(expected_attacks)}"
+        )
+        assert mem_get(memory, attacks_found) == len(expected_attacks)
+
+    return Program(
+        name="intruder",
+        threads=[make_thread(t) for t in range(n_threads)],
+        params=dict(
+            n_flows=n_flows,
+            max_fragments=max_fragments,
+            n_packets=n_packets,
+            n_attacks=len(expected_attacks),
+        ),
+        contention="high",
+        verifier=verifier,
+    )

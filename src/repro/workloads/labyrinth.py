@@ -1,0 +1,170 @@
+"""labyrinth — Lee-style path routing in a 3-D grid.
+
+STAMP's labyrinth routes point-to-point connections through a shared
+3-D grid.  Each route is one *huge* transaction (Table IV: the longest
+in the suite): the router transactionally reads the grid cells it
+expands over (a breadth-first wavefront), computes a shortest path on
+that snapshot, and transactionally claims the path's cells.  Two
+concurrent routes touching overlapping regions conflict, and the loser
+re-expands from scratch — the coarse-grained, high-contention behaviour
+the paper leans on.
+
+The verifier re-walks every claimed path: cells claimed exactly once,
+paths connected, endpoints correct.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.htm.ops import Read, Tx, Work, Write
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+
+def make_labyrinth(
+    n_threads: int = 16,
+    seed: int = 1,
+    dim_x: int = 16,
+    dim_y: int = 16,
+    dim_z: int = 3,
+    n_routes: int = 24,
+    work_expand: int = 4,
+) -> Program:
+    """Build the labyrinth program (paper: random-x32-y32-z3-n64, scaled)."""
+    rng = np.random.default_rng(seed)
+    n_cells = dim_x * dim_y * dim_z
+
+    space = AddressSpace()
+    grid = space.alloc("grid", n_cells)          # 0 = free, route_id+1 = claimed
+    work_queue_head = space.alloc("wq_head", 1)
+    routed_flags = space.alloc("routed", n_routes)
+    # per-thread local grid copies: STAMP's router copies the grid into a
+    # thread-local scratch *inside the transaction*, which is what gives
+    # labyrinth its enormous (L1-overflowing) transactional write sets
+    scratch = [
+        space.alloc(f"local_grid_{t}", n_cells) for t in range(n_threads)
+    ]
+
+    def cell_index(x: int, y: int, z: int) -> int:
+        return (z * dim_y + y) * dim_x + x
+
+    def cell_addr(x: int, y: int, z: int) -> int:
+        return space.word(grid, cell_index(x, y, z))
+
+    def neighbors(x: int, y: int, z: int):
+        for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                           (0, 0, 1), (0, 0, -1)):
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if 0 <= nx < dim_x and 0 <= ny < dim_y and 0 <= nz < dim_z:
+                yield nx, ny, nz
+
+    # distinct endpoints for every route
+    endpoints: list[tuple[tuple[int, int, int], tuple[int, int, int]]] = []
+    taken: set[tuple[int, int, int]] = set()
+    while len(endpoints) < n_routes:
+        cand = tuple(
+            (int(rng.integers(dim_x)), int(rng.integers(dim_y)),
+             int(rng.integers(dim_z)))
+            for _ in range(2)
+        )
+        if cand[0] != cand[1] and not (set(cand) & taken):
+            endpoints.append(cand)
+            taken.update(cand)
+
+    def make_thread(tid: int):
+        def thread():
+            while True:
+                def grab():
+                    head = yield Read(work_queue_head)
+                    if head >= n_routes:
+                        return -1
+                    yield Write(work_queue_head, head + 1)
+                    return head
+                rid = yield Tx(grab, site=1)
+                if rid is None or rid < 0:
+                    break
+                src, dst = endpoints[rid]
+
+                def route(rid=rid, src=src, dst=dst, my_scratch=scratch[tid]):
+                    # ---- expansion over a transactional snapshot; the
+                    # wavefront distances are written to the thread-local
+                    # grid copy as in STAMP (transactional stores) ----
+                    dist: dict[tuple[int, int, int], int] = {src: 0}
+                    parent: dict[tuple, tuple] = {}
+                    frontier = deque([src])
+                    found = False
+                    yield Write(space.word(my_scratch, cell_index(*src)), 1)
+                    while frontier and not found:
+                        cur = frontier.popleft()
+                        for nxt in neighbors(*cur):
+                            if nxt in dist:
+                                continue
+                            if nxt in taken and nxt != dst:
+                                # endpoints of other routes are reserved
+                                continue
+                            occupied = yield Read(cell_addr(*nxt))
+                            yield Work(work_expand)
+                            if occupied and nxt != dst:
+                                continue
+                            dist[nxt] = dist[cur] + 1
+                            parent[nxt] = cur
+                            yield Write(
+                                space.word(my_scratch, cell_index(*nxt)),
+                                dist[nxt] + 1,
+                            )
+                            if nxt == dst:
+                                found = True
+                                break
+                            frontier.append(nxt)
+                    if not found:
+                        return 0
+                    # ---- claim the path cells ----
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(parent[path[-1]])
+                    for cell in path:
+                        yield Write(cell_addr(*cell), rid + 1)
+                    yield Write(space.word(routed_flags, rid), len(path))
+                    return 1
+                yield Tx(route, site=2)
+                yield Work(20)
+        return thread
+
+    def verifier(memory: dict[int, int]) -> None:
+        claimed: dict[int, list[tuple[int, int, int]]] = {}
+        for x in range(dim_x):
+            for y in range(dim_y):
+                for z in range(dim_z):
+                    v = mem_get(memory, cell_addr(x, y, z))
+                    if v:
+                        claimed.setdefault(v - 1, []).append((x, y, z))
+        for rid, (src, dst) in enumerate(endpoints):
+            plen = mem_get(memory, space.word(routed_flags, rid))
+            cells = set(claimed.get(rid, ()))
+            if plen == 0:
+                assert not cells, f"unrouted route {rid} claimed cells"
+                continue
+            assert len(cells) == plen, (
+                f"route {rid}: {len(cells)} cells vs recorded length {plen}"
+            )
+            assert src in cells and dst in cells
+            # connectivity: walk from src within the claimed set
+            seen = {src}
+            frontier = deque([src])
+            while frontier:
+                cur = frontier.popleft()
+                for nxt in neighbors(*cur):
+                    if nxt in cells and nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            assert dst in seen, f"route {rid} is not connected"
+
+    return Program(
+        name="labyrinth",
+        threads=[make_thread(t) for t in range(n_threads)],
+        params=dict(dim=(dim_x, dim_y, dim_z), n_routes=n_routes),
+        contention="high",
+        verifier=verifier,
+    )

@@ -1,0 +1,120 @@
+"""Workload registry: build any Table IV application by name.
+
+Three input scales are provided per application:
+
+* ``tiny``  — seconds-long unit-test inputs;
+* ``small`` — the benchmark default (minutes for the full Figure 6 run);
+* ``full``  — closest to the paper's Table IV parameters that remains
+  tractable for a pure-Python simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Program
+from repro.workloads.bayes import make_bayes
+from repro.workloads.genome import make_genome
+from repro.workloads.intruder import make_intruder
+from repro.workloads.kmeans import make_kmeans
+from repro.workloads.labyrinth import make_labyrinth
+from repro.workloads.ssca2 import make_ssca2
+from repro.workloads.synthetic import make_synthetic
+from repro.workloads.vacation import make_vacation
+from repro.workloads.yada import make_yada
+
+WORKLOAD_NAMES = (
+    "bayes", "genome", "intruder", "kmeans",
+    "labyrinth", "ssca2", "vacation", "yada",
+)
+
+#: the five high-contention applications of Table IV
+HIGH_CONTENTION = ("bayes", "genome", "intruder", "labyrinth", "yada")
+
+_FACTORIES: dict[str, Callable[..., Program]] = {
+    "bayes": make_bayes,
+    "genome": make_genome,
+    "intruder": make_intruder,
+    "kmeans": make_kmeans,
+    "labyrinth": make_labyrinth,
+    "ssca2": make_ssca2,
+    "vacation": make_vacation,
+    "yada": make_yada,
+    "synthetic": make_synthetic,
+}
+
+_SCALES: dict[str, dict[str, dict[str, object]]] = {
+    "bayes": {
+        "tiny": dict(n_vars=10, work_per_score=40),
+        "small": dict(n_vars=20, work_per_score=100, scratch_factor=2),
+        # ~31 candidate rows x 4x32 words ≈ 500 lines/transaction: the
+        # write-set-to-L1 ratio of the paper's -v32 input
+        "full": dict(n_vars=32, work_per_score=160, scratch_factor=4),
+    },
+    "genome": {
+        "tiny": dict(gene_length=96, n_segments=96, n_buckets=16),
+        "small": dict(gene_length=256, n_segments=384, n_buckets=32),
+        "full": dict(gene_length=256, n_segments=1024, n_buckets=64),
+    },
+    "intruder": {
+        "tiny": dict(n_flows=24),
+        "small": dict(n_flows=64),
+        "full": dict(n_flows=192),
+    },
+    "kmeans": {
+        "tiny": dict(n_points=96, n_clusters=8, n_iterations=2),
+        # the paper's input is d16 c16: the 16-dimensional distance
+        # computation is what makes kmeans compute-bound / low-contention
+        "small": dict(n_points=256, n_clusters=16, n_dims=12,
+                      n_iterations=2, work_distance=12),
+        "full": dict(n_points=512, n_clusters=16, n_dims=16,
+                     n_iterations=3, work_distance=12),
+    },
+    "labyrinth": {
+        "tiny": dict(dim_x=8, dim_y=8, dim_z=2, n_routes=8),
+        "small": dict(dim_x=24, dim_y=24, dim_z=3, n_routes=16),
+        # the paper's input (x32 y32 z3): the in-transaction grid copy is
+        # 24 KB against the 32 KB L1, which is what overflows it
+        "full": dict(dim_x=32, dim_y=32, dim_z=3, n_routes=24),
+    },
+    "ssca2": {
+        "tiny": dict(scale=6, edge_factor=2),
+        "small": dict(scale=9, edge_factor=2),
+        "full": dict(scale=10, edge_factor=3),
+    },
+    "vacation": {
+        "tiny": dict(n_relations=64, n_tasks=48),
+        "small": dict(n_relations=128, n_tasks=96),
+        "full": dict(n_relations=512, n_tasks=256),
+    },
+    "yada": {
+        "tiny": dict(n_initial=24, scratch_words=192),
+        "small": dict(n_initial=48, scratch_words=1024),
+        "full": dict(n_initial=72, scratch_words=3584),
+    },
+    "synthetic": {
+        "tiny": dict(tx_per_thread=8),
+        "small": dict(tx_per_thread=16),
+        "full": dict(tx_per_thread=48),
+    },
+}
+
+
+def make_workload(
+    name: str,
+    n_threads: int = 16,
+    seed: int = 1,
+    scale: str = "small",
+    **overrides: object,
+) -> Program:
+    """Build a workload by name at the given input scale."""
+    if name not in _FACTORIES:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from "
+            f"{sorted(_FACTORIES)}"
+        )
+    if scale not in ("tiny", "small", "full"):
+        raise ValueError(f"unknown scale {scale!r}")
+    kwargs: dict[str, object] = dict(_SCALES[name][scale])
+    kwargs.update(overrides)
+    return _FACTORIES[name](n_threads=n_threads, seed=seed, **kwargs)

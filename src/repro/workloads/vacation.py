@@ -1,0 +1,223 @@
+"""vacation — an in-memory travel-reservation database.
+
+STAMP's vacation emulates an OLTP workload: client tasks run
+transactions against tables of cars, rooms and flights, each row
+holding (total, used, price).  Mirroring the original's action mix
+(``-u`` percent user queries), a task is one of:
+
+* **make reservation** — query ``q`` random rows per requested kind,
+  reserve the cheapest available one, record it on the customer and
+  bill them;
+* **delete customer** — release every reservation the customer holds
+  and zero their bill;
+* **update tables** — grow/shrink the capacity of random rows
+  (never below the currently-reserved count).
+
+With many rows and moderate task counts the medium-length transactions
+rarely collide — Table IV's "Low" contention class.
+
+The verifier checks full relational consistency: every row's ``used``
+equals the live reservations pointing at it, no row is overbooked,
+every customer's bill equals the sum of their reservations' prices, and
+the global counters agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.htm.ops import Barrier, Read, Tx, Work, Write
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+TABLES = ("car", "room", "flight")
+ROW_TOTAL, ROW_USED, ROW_PRICE, ROW_SIZE = 0, 1, 2, 3
+
+#: customer record layout: bill, reservation count, then slot words
+CUST_BILL, CUST_COUNT, CUST_SLOTS = 0, 1, 2
+MAX_RESERVATIONS = 12
+
+ACT_RESERVE, ACT_DELETE, ACT_UPDATE = "reserve", "delete", "update"
+
+
+def make_vacation(
+    n_threads: int = 16,
+    seed: int = 1,
+    n_relations: int = 128,
+    n_tasks: int = 96,
+    queries_per_task: int = 4,
+    n_customers: int = 64,
+    user_fraction: float = 0.8,
+    work_per_query: int = 25,
+) -> Program:
+    """Build the vacation program (paper: -n4 -q60 -u90 -r16384 -t4096)."""
+    rng = np.random.default_rng(seed)
+    space = AddressSpace()
+    tables = {
+        t: space.alloc(f"table_{t}", n_relations * ROW_SIZE) for t in TABLES
+    }
+    cust_size = CUST_SLOTS + MAX_RESERVATIONS
+    customers = space.alloc("customers", n_customers * cust_size)
+    reserved_total = space.alloc("reserved_total", 1)
+
+    def row_addr(table_idx: int, row: int, field: int) -> int:
+        return space.word(tables[TABLES[table_idx]], row * ROW_SIZE + field)
+
+    def cust_addr(c: int, field: int) -> int:
+        return space.word(customers, c * cust_size + field)
+
+    capacities = {t: rng.integers(1, 5, size=n_relations) for t in TABLES}
+    prices = {t: rng.integers(100, 999, size=n_relations) for t in TABLES}
+
+    # task plan
+    tasks: list[tuple] = []
+    for _ in range(n_tasks):
+        roll = rng.random()
+        if roll < user_fraction:
+            kinds = [int(k) for k in
+                     rng.choice(len(TABLES), size=rng.integers(1, 4),
+                                replace=False)]
+            cands = {
+                k: [int(r) for r in rng.choice(
+                    n_relations, size=queries_per_task, replace=False)]
+                for k in kinds
+            }
+            tasks.append((ACT_RESERVE, int(rng.integers(n_customers)),
+                          kinds, cands))
+        elif roll < user_fraction + (1 - user_fraction) / 2:
+            tasks.append((ACT_DELETE, int(rng.integers(n_customers))))
+        else:
+            updates = [
+                (int(rng.integers(len(TABLES))), int(rng.integers(n_relations)),
+                 int(rng.integers(-1, 3)))
+                for _ in range(queries_per_task)
+            ]
+            tasks.append((ACT_UPDATE, updates))
+    my_tasks = [tasks[t::n_threads] for t in range(n_threads)]
+
+    def encode_slot(table_idx: int, row: int) -> int:
+        return table_idx * n_relations + row + 1
+
+    def decode_slot(slot: int) -> tuple[int, int]:
+        return (slot - 1) // n_relations, (slot - 1) % n_relations
+
+    def reserve_tx(customer, kinds, cands):
+        n_res = yield Read(cust_addr(customer, CUST_COUNT))
+        bill_delta, booked = 0, []
+        for kind in kinds:
+            if n_res + len(booked) >= MAX_RESERVATIONS:
+                break
+            best_row, best_price = -1, None
+            for r in cands[kind]:
+                total = yield Read(row_addr(kind, r, ROW_TOTAL))
+                used = yield Read(row_addr(kind, r, ROW_USED))
+                price = yield Read(row_addr(kind, r, ROW_PRICE))
+                yield Work(work_per_query)
+                if used < total and (best_price is None or price < best_price):
+                    best_row, best_price = r, price
+            if best_row < 0:
+                continue
+            used = yield Read(row_addr(kind, best_row, ROW_USED))
+            total = yield Read(row_addr(kind, best_row, ROW_TOTAL))
+            if used >= total:
+                continue
+            yield Write(row_addr(kind, best_row, ROW_USED), used + 1)
+            booked.append((kind, best_row))
+            bill_delta += best_price
+        if booked:
+            for i, (kind, row) in enumerate(booked):
+                yield Write(cust_addr(customer, CUST_SLOTS + n_res + i),
+                            encode_slot(kind, row))
+            yield Write(cust_addr(customer, CUST_COUNT), n_res + len(booked))
+            bill = yield Read(cust_addr(customer, CUST_BILL))
+            yield Write(cust_addr(customer, CUST_BILL), bill + bill_delta)
+            count = yield Read(reserved_total)
+            yield Write(reserved_total, count + len(booked))
+
+    def delete_tx(customer):
+        n_res = yield Read(cust_addr(customer, CUST_COUNT))
+        if not n_res:
+            return
+        for i in range(n_res):
+            slot = yield Read(cust_addr(customer, CUST_SLOTS + i))
+            kind, row = decode_slot(slot)
+            used = yield Read(row_addr(kind, row, ROW_USED))
+            yield Write(row_addr(kind, row, ROW_USED), used - 1)
+            yield Write(cust_addr(customer, CUST_SLOTS + i), 0)
+            yield Work(work_per_query)
+        yield Write(cust_addr(customer, CUST_COUNT), 0)
+        yield Write(cust_addr(customer, CUST_BILL), 0)
+        count = yield Read(reserved_total)
+        yield Write(reserved_total, count - n_res)
+
+    def update_tx(updates):
+        for kind, row, delta in updates:
+            total = yield Read(row_addr(kind, row, ROW_TOTAL))
+            used = yield Read(row_addr(kind, row, ROW_USED))
+            yield Work(work_per_query)
+            new_total = total + delta
+            if new_total >= used and new_total >= 0:
+                yield Write(row_addr(kind, row, ROW_TOTAL), new_total)
+
+    def make_thread(tid: int):
+        def thread():
+            if tid == 0:
+                for ti, t in enumerate(TABLES):
+                    for r in range(n_relations):
+                        yield Write(row_addr(ti, r, ROW_TOTAL),
+                                    int(capacities[t][r]))
+                        yield Write(row_addr(ti, r, ROW_PRICE),
+                                    int(prices[t][r]))
+            yield Barrier(0)
+            for task in my_tasks[tid]:
+                if task[0] == ACT_RESERVE:
+                    _, customer, kinds, cands = task
+                    yield Tx(
+                        lambda c=customer, k=kinds, q=cands: reserve_tx(c, k, q),
+                        site=1,
+                    )
+                elif task[0] == ACT_DELETE:
+                    yield Tx(lambda c=task[1]: delete_tx(c), site=2)
+                else:
+                    yield Tx(lambda u=task[1]: update_tx(u), site=3)
+                yield Work(work_per_query)
+        return thread
+
+    def verifier(memory: dict[int, int]) -> None:
+        # rebuild per-row live-reservation counts from customer records
+        live: dict[tuple[int, int], int] = {}
+        total_live = 0
+        for c in range(n_customers):
+            n_res = mem_get(memory, cust_addr(c, CUST_COUNT))
+            assert 0 <= n_res <= MAX_RESERVATIONS
+            bill = 0
+            for i in range(n_res):
+                slot = mem_get(memory, cust_addr(c, CUST_SLOTS + i))
+                assert slot > 0, f"customer {c}: empty live slot {i}"
+                kind, row = decode_slot(slot)
+                live[(kind, row)] = live.get((kind, row), 0) + 1
+                bill += int(prices[TABLES[kind]][row])
+                total_live += 1
+            assert mem_get(memory, cust_addr(c, CUST_BILL)) == bill, (
+                f"customer {c}: bill mismatch"
+            )
+        for ti, t in enumerate(TABLES):
+            for r in range(n_relations):
+                total = mem_get(memory, row_addr(ti, r, ROW_TOTAL))
+                used = mem_get(memory, row_addr(ti, r, ROW_USED))
+                assert used <= total, f"{t}[{r}] overbooked {used}/{total}"
+                assert used == live.get((ti, r), 0), (
+                    f"{t}[{r}]: used={used} but {live.get((ti, r), 0)} "
+                    "live reservations"
+                )
+        assert total_live == mem_get(memory, reserved_total)
+
+    return Program(
+        name="vacation",
+        threads=[make_thread(t) for t in range(n_threads)],
+        params=dict(
+            n_relations=n_relations, n_tasks=n_tasks,
+            queries_per_task=queries_per_task, user_fraction=user_fraction,
+        ),
+        contention="low",
+        verifier=verifier,
+    )

@@ -1,0 +1,212 @@
+"""yada — Delaunay-style mesh refinement (Ruppert's algorithm).
+
+STAMP's yada repeatedly takes a "bad" triangle from a shared work heap,
+transactionally collects its *cavity* (the triangle plus surrounding
+neighbours), retriangulates the cavity — retiring the old triangles and
+inserting new ones — and pushes any newly-bad triangles back on the
+heap.  Transactions are long (a whole cavity) and the heap plus mesh
+regions are contended: Table IV's "high" class.
+
+We port the algorithm over an explicit triangle store with neighbour
+links; cavity membership follows the links exactly as the pointer-based
+original does.  "Badness" is carried per triangle from a deterministic
+quality function, and each retriangulation of a cavity of ``k``
+triangles produces ``k + 1`` replacements of improving quality, which
+guarantees termination like the geometric original.  The verifier
+checks the mesh bookkeeping exactly: every triangle retired exactly
+once or live, no bad triangle left, and the retire/create counts
+balance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.htm.ops import Read, Tx, Work, Write
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+# triangle record layout (words)
+T_ALIVE, T_QUALITY, T_NBR0, T_NBR1, T_NBR2, T_SIZE = 0, 1, 2, 3, 4, 5
+#: a triangle is "bad" (needs refinement) below this quality
+GOOD_QUALITY = 3
+
+
+def make_yada(
+    n_threads: int = 16,
+    seed: int = 1,
+    n_initial: int = 48,
+    bad_fraction: float = 0.5,
+    max_triangles: int = 4096,
+    work_per_cavity_step: int = 40,
+    scratch_words: int = 192,
+) -> Program:
+    """Build the yada program (paper: -a20 -i 633.2, scaled)."""
+    rng = np.random.default_rng(seed)
+
+    space = AddressSpace()
+    triangles = space.alloc("triangles", max_triangles * T_SIZE)
+    tri_cursor = space.alloc("tri_cursor", 1)          # next free slot
+    heap = space.alloc("work_heap", max_triangles)
+    heap_head = space.alloc("heap_head", 1)
+    heap_tail = space.alloc("heap_tail", 1)
+    retired_count = space.alloc("retired", 1)
+    created_count = space.alloc("created", 1)
+    # per-thread geometry scratch: the real refinement recomputes the
+    # cavity's coordinates/circumcenters in transaction-local buffers,
+    # which is where yada's 6.8K-instruction write sets come from
+    scratch = [
+        space.alloc(f"geom_scratch_{t}", scratch_words)
+        for t in range(n_threads)
+    ]
+
+    def tri_addr(t: int, f: int) -> int:
+        return space.word(triangles, t * T_SIZE + f)
+
+    # deterministic initial mesh: a ring of triangles, each linked to its
+    # two ring neighbours (third link empty), with seeded qualities
+    init_quality = [
+        int(q) for q in
+        np.where(rng.random(n_initial) < bad_fraction,
+                 rng.integers(0, GOOD_QUALITY, n_initial),
+                 rng.integers(GOOD_QUALITY, GOOD_QUALITY + 3, n_initial))
+    ]
+    initial_bad = [t for t in range(n_initial) if init_quality[t] < GOOD_QUALITY]
+
+    def make_thread(tid: int):
+        def thread():
+            from repro.htm.ops import Barrier
+
+            if tid == 0:
+                # build the initial mesh and seed the work heap
+                for t in range(n_initial):
+                    yield Write(tri_addr(t, T_ALIVE), 1)
+                    yield Write(tri_addr(t, T_QUALITY), init_quality[t])
+                    yield Write(tri_addr(t, T_NBR0), ((t + 1) % n_initial) + 1)
+                    yield Write(tri_addr(t, T_NBR1),
+                                ((t - 1) % n_initial) + 1)
+                    yield Write(tri_addr(t, T_NBR2), 0)
+                yield Write(tri_cursor, n_initial)
+                for i, t in enumerate(initial_bad):
+                    yield Write(space.word(heap, i), t + 1)
+                yield Write(heap_tail, len(initial_bad))
+            yield Barrier(0)
+
+            while True:
+                def refine():
+                    # ---- pop a bad triangle from the heap ----
+                    head = yield Read(heap_head)
+                    tail = yield Read(heap_tail)
+                    if head >= tail:
+                        return -1
+                    yield Write(heap_head, head + 1)
+                    t = (yield Read(space.word(heap, head))) - 1
+                    alive = yield Read(tri_addr(t, T_ALIVE))
+                    if not alive:
+                        return 0  # already retired by another cavity
+                    quality = yield Read(tri_addr(t, T_QUALITY))
+                    if quality >= GOOD_QUALITY:
+                        return 0
+
+                    # ---- collect the cavity by following links ----
+                    cavity = [t]
+                    for slot in (T_NBR0, T_NBR1, T_NBR2):
+                        nbr = yield Read(tri_addr(t, slot))
+                        yield Work(work_per_cavity_step)
+                        if not nbr:
+                            continue
+                        nbr -= 1
+                        if nbr in cavity:
+                            continue  # small rings alias their neighbours
+                        if (yield Read(tri_addr(nbr, T_ALIVE))):
+                            cavity.append(nbr)
+
+                    # ---- geometry recomputation into the thread scratch ----
+                    my_scratch = scratch[tid]
+                    for step, c in enumerate(cavity):
+                        for w in range(0, scratch_words // len(cavity), 2):
+                            yield Write(
+                                space.word(
+                                    my_scratch,
+                                    (step * (scratch_words // len(cavity)) + w)
+                                    % scratch_words,
+                                ),
+                                c * 1000 + w,
+                            )
+                        yield Work(work_per_cavity_step)
+
+                    # ---- retriangulate: retire cavity, insert k+1 ----
+                    for c in cavity:
+                        yield Write(tri_addr(c, T_ALIVE), 0)
+                    retired = yield Read(retired_count)
+                    yield Write(retired_count, retired + len(cavity))
+
+                    cursor = yield Read(tri_cursor)
+                    k = len(cavity) + 1
+                    if cursor + k > max_triangles:
+                        raise RuntimeError("triangle pool exhausted")
+                    new_ids = list(range(cursor, cursor + k))
+                    yield Write(tri_cursor, cursor + k)
+                    new_bad = []
+                    for j, nt in enumerate(new_ids):
+                        # refinement improves quality; an occasional new
+                        # triangle is still bad and re-enqueued
+                        q = quality + 1 + (j % 2)
+                        yield Write(tri_addr(nt, T_ALIVE), 1)
+                        yield Write(tri_addr(nt, T_QUALITY), q)
+                        yield Write(
+                            tri_addr(nt, T_NBR0),
+                            new_ids[(j + 1) % k] + 1,
+                        )
+                        yield Write(
+                            tri_addr(nt, T_NBR1),
+                            new_ids[(j - 1) % k] + 1,
+                        )
+                        yield Write(tri_addr(nt, T_NBR2), 0)
+                        if q < GOOD_QUALITY:
+                            new_bad.append(nt)
+                    created = yield Read(created_count)
+                    yield Write(created_count, created + k)
+
+                    # ---- push still-bad replacements ----
+                    if new_bad:
+                        tail = yield Read(heap_tail)
+                        for j, nt in enumerate(new_bad):
+                            yield Write(space.word(heap, tail + j), nt + 1)
+                        yield Write(heap_tail, tail + len(new_bad))
+                    return 1
+
+                outcome = yield Tx(refine, site=2)
+                if outcome is None or outcome < 0:
+                    break
+                yield Work(30)
+        return thread
+
+    def verifier(memory: dict[int, int]) -> None:
+        n_tris = mem_get(memory, tri_cursor)
+        assert n_tris >= n_initial
+        live_bad = []
+        live = 0
+        for t in range(n_tris):
+            if mem_get(memory, tri_addr(t, T_ALIVE)):
+                live += 1
+                if mem_get(memory, tri_addr(t, T_QUALITY)) < GOOD_QUALITY:
+                    live_bad.append(t)
+        # termination: the heap was fully drained and no live bad triangle
+        # remains enqueued (every heap entry points at a retired or good
+        # triangle once processing finished)
+        head = mem_get(memory, heap_head)
+        tail = mem_get(memory, heap_tail)
+        assert head >= tail, "work heap not drained"
+        assert not live_bad, f"live bad triangles remain: {live_bad[:5]}"
+        retired = mem_get(memory, retired_count)
+        created = mem_get(memory, created_count)
+        assert live == n_initial + created - retired
+        assert n_tris == n_initial + created
+
+    return Program(
+        name="yada",
+        threads=[make_thread(t) for t in range(n_threads)],
+        params=dict(n_initial=n_initial, bad_fraction=bad_fraction),
+        contention="high",
+        verifier=verifier,
+    )

@@ -1,0 +1,83 @@
+"""Unit tests for the preserved redirect pool."""
+
+import pytest
+
+from repro.config import LINE_BYTES
+from repro.core.preserved_pool import PreservedPool
+
+
+def make_pool(page_bytes=8192, base=1 << 40):
+    return PreservedPool(base, page_bytes)
+
+
+def test_base_must_be_page_aligned():
+    with pytest.raises(ValueError):
+        PreservedPool((1 << 40) + 64, 8192)
+
+
+def test_page_must_hold_whole_lines():
+    with pytest.raises(ValueError):
+        PreservedPool(1 << 40, 100)
+
+
+def test_lines_are_sequential_from_base():
+    pool = make_pool()
+    a = pool.allocate_line()
+    b = pool.allocate_line()
+    assert a == (1 << 40) // LINE_BYTES
+    assert b == a + 1
+
+
+def test_page_allocated_on_demand():
+    pool = make_pool(page_bytes=8192)
+    per_page = 8192 // LINE_BYTES
+    assert pool.pages_allocated == 0
+    for _ in range(per_page):
+        pool.allocate_line()
+    assert pool.pages_allocated == 1
+    pool.allocate_line()
+    assert pool.pages_allocated == 2
+
+
+def test_freed_lines_are_recycled_without_new_pages():
+    pool = make_pool()
+    a = pool.allocate_line()
+    pages = pool.pages_allocated
+    pool.free_line(a)
+    assert pool.allocate_line() == a
+    assert pool.pages_allocated == pages
+
+
+def test_free_rejects_foreign_lines():
+    pool = make_pool()
+    with pytest.raises(ValueError):
+        pool.free_line(123)
+
+
+def test_contains_line():
+    pool = make_pool()
+    a = pool.allocate_line()
+    assert pool.contains_line(a)
+    assert not pool.contains_line(a + 1000)
+
+
+def test_tlb_index_and_offset_roundtrip():
+    pool = make_pool(page_bytes=8192)
+    per_page = 8192 // LINE_BYTES
+    lines = [pool.allocate_line() for _ in range(per_page + 3)]
+    assert pool.tlb_index_of(lines[0]) == 0
+    assert pool.tlb_index_of(lines[per_page]) == 1
+    assert pool.page_offset_of(lines[0]) == 0
+    assert pool.page_offset_of(lines[per_page + 2]) == 2
+    # in-page offset fits the 7-bit field of the Figure 3 encoding
+    assert all(pool.page_offset_of(ln) < (1 << 7) for ln in lines)
+
+
+def test_live_lines_accounting():
+    pool = make_pool()
+    a = pool.allocate_line()
+    b = pool.allocate_line()
+    assert pool.live_lines == 2
+    pool.free_line(a)
+    assert pool.live_lines == 1
+    assert pool.allocations == 2 and pool.frees == 1

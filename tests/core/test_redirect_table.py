@@ -1,0 +1,137 @@
+"""Unit tests for the two-level redirect table."""
+
+import pytest
+
+from repro.config import RedirectConfig
+from repro.core.redirect_entry import EntryState, RedirectEntry
+from repro.core.redirect_table import RedirectTable
+
+
+def small_table(l1_entries=4, l2_entries=16, l2_ways=2, n_cores=2):
+    cfg = RedirectConfig(
+        l1_entries=l1_entries, l2_entries=l2_entries, l2_ways=l2_ways
+    )
+    return RedirectTable(n_cores, cfg)
+
+
+def entry(orig, redir=None, state=EntryState.VALID):
+    return RedirectEntry(orig, redir if redir is not None else orig + 10_000,
+                         state=state)
+
+
+def test_lookup_miss_costs_l2_probe():
+    t = small_table()
+    res = t.lookup(0, 42)
+    assert res.entry is None and res.level == "none"
+    assert res.latency == t.config.l1_latency + t.config.l2_latency
+    assert t.full_misses == 1
+
+
+def test_insert_then_l1_hit_is_zero_latency():
+    t = small_table()
+    t.insert(0, entry(42))
+    res = t.lookup(0, 42)
+    assert res.entry is not None and res.level == "l1"
+    assert res.latency == 0
+    assert t.l1_hits == 1
+
+
+def test_other_core_misses_l1_finds_l2_copy():
+    t = small_table(l1_entries=1)
+    t.insert(0, entry(42))
+    t.insert(0, entry(43))  # evicts 42 from core 0's L1 into L2
+    res = t.lookup(1, 42)
+    assert res.level == "l2"
+    assert res.latency == t.config.l2_latency
+    # entry promoted into core 1's L1 now
+    assert t.lookup(1, 42).level == "l1"
+
+
+def test_l1_overflow_demotes_to_l2():
+    t = small_table(l1_entries=2)
+    for i in range(3):
+        t.insert(0, entry(i))
+    assert t.l1_overflows == 1
+    assert t.lookup(1, 0).level == "l2"
+
+
+def test_l2_overflow_spills_to_memory():
+    # l1=1, l2 one set of 1 way → third entry spills to memory
+    t = small_table(l1_entries=1, l2_entries=1, l2_ways=1)
+    t.insert(0, entry(0))
+    t.insert(0, entry(1))
+    t.insert(0, entry(2))
+    assert t.l2_overflows >= 1
+    assert t.memory_entries >= 1
+
+
+def test_memory_lookup_pays_software_cost():
+    t = small_table(l1_entries=1, l2_entries=1, l2_ways=1)
+    for i in range(3):
+        t.insert(0, entry(i))
+    # entry 0 should now live in memory
+    target = next(iter(t._mem))
+    res = t.lookup(1, target)
+    assert res.level == "mem"
+    cfg = t.config
+    assert res.latency == (
+        cfg.l1_latency + cfg.l2_latency + cfg.memory_latency
+        + cfg.software_overhead
+    )
+    # promoted back into hardware afterwards
+    assert t.memory_entries == 0 or target not in t._mem
+
+
+def test_free_entries_are_dropped_not_spilled():
+    t = small_table(l1_entries=1)
+    dead = entry(5, state=EntryState.INVALID)
+    t.insert(0, dead)
+    t.insert(0, entry(6))
+    assert t.l1_overflows == 0
+    assert t.lookup(1, 5).entry is None
+
+
+def test_remove_purges_all_levels():
+    t = small_table(l1_entries=1, l2_entries=1, l2_ways=1)
+    for i in range(3):
+        t.insert(0, entry(i))
+    for i in range(3):
+        t.remove(i)
+    assert t.hardware_occupancy == 0 and t.memory_entries == 0
+    for i in range(3):
+        assert t.lookup(0, i).entry is None
+
+
+def test_peek_finds_entries_without_stats():
+    t = small_table()
+    e = entry(7)
+    t.insert(1, e)
+    assert t.peek(7) is e
+    assert t.l1_hits == 0 and t.l1_misses == 0
+
+
+def test_shared_entry_object_across_levels_is_coherent():
+    # an entry cached in a core's L1 table and the L2 table is the same
+    # object: a state flip is visible everywhere (behavioural MSI)
+    t = small_table(l1_entries=1)
+    e = entry(42, state=EntryState.LOCAL_VALID)
+    e.owner = 0
+    t.insert(0, e)
+    t.insert(0, entry(43))  # demote 42's entry to L2
+    e.on_commit()
+    found = t.lookup(1, 42).entry
+    assert found is e and found.state is EntryState.VALID
+
+
+def test_miss_rate_statistic():
+    t = small_table()
+    t.insert(0, entry(1))
+    t.lookup(0, 1)
+    t.lookup(0, 2)
+    assert t.l1_miss_rate == pytest.approx(0.5)
+    assert t.stats()["l1_miss_rate"] == pytest.approx(0.5)
+
+
+def test_l2_ways_must_divide():
+    with pytest.raises(ValueError):
+        small_table(l2_entries=10, l2_ways=3)

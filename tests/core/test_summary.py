@@ -1,0 +1,77 @@
+"""Unit tests for the redirect summary filter."""
+
+from repro.config import RedirectConfig
+from repro.core.summary import RedirectSummaryFilter
+
+
+def make_filter(**kw):
+    return RedirectSummaryFilter(RedirectConfig(**kw))
+
+
+def test_unredirected_lines_are_filtered():
+    f = make_filter()
+    assert not f.might_be_redirected(42)
+    assert f.filtered == 1 and f.passed == 0
+
+
+def test_redirected_lines_pass_to_lookup():
+    f = make_filter()
+    f.add(42)
+    assert f.might_be_redirected(42)
+    assert f.passed == 1
+
+
+def test_remove_restores_filtering():
+    f = make_filter()
+    f.add(42)
+    f.remove(42)
+    assert not f.might_be_redirected(42)
+
+
+def test_disabled_filter_always_passes():
+    f = make_filter(use_summary_signature=False)
+    assert f.might_be_redirected(42)
+    assert f.passed == 1 and f.filtered == 0
+
+
+def test_filter_rate():
+    f = make_filter()
+    f.add(1)
+    f.might_be_redirected(1)
+    f.might_be_redirected(2)
+    assert f.filter_rate == 0.5
+
+
+def test_false_positive_counter():
+    f = make_filter()
+    f.note_false_positive()
+    assert f.stats()["false_positives"] == 1
+
+
+def test_stats_keys():
+    f = make_filter()
+    assert set(f.stats()) == {
+        "filtered", "passed", "false_positives", "filter_rate", "popcount",
+        "rebuilds",
+    }
+
+
+def test_rebuild_clears_stale_bits():
+    f = make_filter()
+    f.rebuild_threshold = 4
+    # churn: add/remove disjoint lines until the threshold trips
+    for i in range(4):
+        f.add(1000 + i)
+        f.remove(1000 + i)
+    assert f.maybe_rebuild(live_lines=[42])
+    assert f.stats()["rebuilds"] == 1
+    assert f.might_be_redirected(42)
+    assert not f.might_be_redirected(1000)
+
+
+def test_rebuild_waits_for_threshold():
+    f = make_filter()
+    f.rebuild_threshold = 100
+    f.add(1)
+    f.remove(1)
+    assert not f.maybe_rebuild(live_lines=[])

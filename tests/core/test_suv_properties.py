@@ -1,0 +1,107 @@
+"""Property tests for SUV's core invariants: pool/table bookkeeping
+stays consistent under arbitrary interleavings of redirect,
+redirect-back, commit and abort."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import RedirectConfig
+from repro.core.preserved_pool import PreservedPool
+from repro.core.redirect_entry import EntryState, RedirectEntry
+from repro.core.redirect_table import RedirectTable
+
+
+class SUVModel:
+    """A miniature driver exercising the table+pool state machine the
+    way the SUV version manager does, with a reference set alongside."""
+
+    def __init__(self, l1_entries=8, l2_entries=32):
+        cfg = RedirectConfig(l1_entries=l1_entries, l2_entries=l2_entries,
+                             l2_ways=2)
+        self.table = RedirectTable(2, cfg)
+        self.pool = PreservedPool(cfg.pool_base, cfg.pool_page_bytes)
+        self.open: list[tuple[str, RedirectEntry]] = []  # current tx actions
+        self.committed: dict[int, int] = {}  # line -> redirected line
+
+    def write(self, line: int, core: int = 0) -> None:
+        if any(e.orig_line == line for _, e in self.open):
+            return
+        entry = self.table.peek(line)
+        if entry is not None and entry.state is EntryState.VALID:
+            entry.state = EntryState.LOCAL_INVALID
+            entry.owner = core
+            self.open.append(("back", entry))
+        elif entry is None or entry.is_free:
+            new = RedirectEntry(line, self.pool.allocate_line(),
+                                EntryState.LOCAL_VALID, owner=core)
+            self.table.insert(core, new)
+            self.open.append(("new", new))
+
+    def commit(self) -> None:
+        for kind, entry in self.open:
+            entry.on_commit()
+            if kind == "new":
+                self.committed[entry.orig_line] = entry.redirected_line
+            else:
+                self.table.remove(entry.orig_line)
+                self.pool.free_line(entry.redirected_line)
+                self.committed.pop(entry.orig_line, None)
+        self.open.clear()
+
+    def abort(self) -> None:
+        for kind, entry in self.open:
+            entry.on_abort()
+            if kind == "new":
+                self.table.remove(entry.orig_line)
+                self.pool.free_line(entry.redirected_line)
+        self.open.clear()
+
+    def check(self) -> None:
+        # every committed mapping is reachable and VALID; pool live-line
+        # count matches exactly the committed mappings
+        assert self.pool.live_lines == len(self.committed)
+        for line, target in self.committed.items():
+            entry = self.table.peek(line)
+            assert entry is not None, f"lost entry for line {line}"
+            assert entry.state is EntryState.VALID
+            assert entry.redirected_line == target
+        # no transient entries outside an open transaction
+        for t in self.table.l1_tables:
+            for e in t.values():
+                assert not e.state.is_transient
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.lists(st.integers(0, 30), min_size=1, max_size=6),  # lines
+            st.booleans(),                                          # commit?
+        ),
+        min_size=1, max_size=30,
+    )
+)
+@settings(max_examples=120, deadline=None)
+def test_table_pool_invariants_hold(txs):
+    model = SUVModel()
+    for lines, do_commit in txs:
+        for line in lines:
+            model.write(line)
+        if do_commit:
+            model.commit()
+        else:
+            model.abort()
+        model.check()
+
+
+@given(st.lists(st.integers(0, 15), min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_alternating_redirect_and_back_never_leaks(lines):
+    """Writing the same lines across many committing transactions must
+    keep pool occupancy bounded by the number of distinct lines (the
+    Section IV-A claim that redirect-back prevents perpetual growth)."""
+    model = SUVModel()
+    for line in lines:
+        model.write(line)
+        model.commit()
+    assert model.pool.live_lines <= len(set(lines))
+    model.check()

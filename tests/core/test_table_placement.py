@@ -1,0 +1,73 @@
+"""Placement behaviour of the two-level redirect table."""
+
+from repro.config import RedirectConfig
+from repro.core.redirect_entry import EntryState, RedirectEntry
+from repro.core.redirect_table import RedirectTable
+
+
+def table(l1=4, l2=8, ways=2, cores=3):
+    return RedirectTable(cores, RedirectConfig(
+        l1_entries=l1, l2_entries=l2, l2_ways=ways))
+
+
+def valid(orig):
+    return RedirectEntry(orig, orig + 5000, state=EntryState.VALID)
+
+
+def test_insert_homes_in_l2_and_caches_in_l1():
+    t = table()
+    t.insert(0, valid(1))
+    # visible to every core (L2 home), zero-latency only for core 0
+    assert t.lookup(0, 1).level == "l1"
+    assert t.lookup(1, 1).level == "l2"
+    # and promoted: the second lookup by core 1 is an L1 hit
+    assert t.lookup(1, 1).level == "l1"
+
+
+def test_l1_eviction_does_not_lose_the_entry():
+    t = table(l1=2)
+    for i in range(5):
+        t.insert(0, valid(i))
+    for i in range(5):
+        assert t.lookup(1, i).entry is not None
+
+
+def test_memory_swap_back_rehomes_in_l2():
+    t = table(l1=1, l2=1, ways=1)
+    for i in range(3):
+        t.insert(0, valid(i))
+    assert t.memory_entries >= 1
+    target = next(iter(t._mem))
+    assert t.lookup(2, target).level == "mem"
+    # after the software swap-in, the entry is back in hardware
+    res = t.lookup(1, target)
+    assert res.level in ("l1", "l2")
+
+
+def test_iter_valid_lines_deduplicates():
+    t = table()
+    t.insert(0, valid(7))
+    t.lookup(1, 7)   # cached in core 1's L1 too
+    t.lookup(2, 7)
+    lines = list(t.iter_valid_lines())
+    assert lines.count(7) == 1
+
+
+def test_iter_valid_lines_skips_transient_and_invalid():
+    t = table()
+    t.insert(0, valid(1))
+    t.insert(0, RedirectEntry(2, 5002, state=EntryState.LOCAL_VALID, owner=0))
+    dead = RedirectEntry(3, 5003, state=EntryState.INVALID)
+    t.l1_tables[0].put(dead)
+    assert set(t.iter_valid_lines()) == {1}
+
+
+def test_stats_shape():
+    t = table()
+    t.insert(0, valid(9))
+    t.lookup(0, 9)
+    t.lookup(1, 10)
+    s = t.stats()
+    assert s["l1_hits"] == 1
+    assert s["full_misses"] == 1
+    assert 0 <= s["l1_miss_rate"] <= 1

@@ -1,0 +1,26 @@
+"""Tests for the literature-data constants (Tables I and VI)."""
+
+from repro.data import ABORT_RATIO_STUDIES, PROCESSORS, ROCK
+
+
+def test_table_one_has_nine_studies():
+    assert len(ABORT_RATIO_STUDIES) == 9
+
+
+def test_abort_ratios_are_fractions():
+    for s in ABORT_RATIO_STUDIES:
+        assert 0 < s.abort_ratio_max < 1
+
+
+def test_high_abort_studies_present():
+    by_name = {s.study: s for s in ABORT_RATIO_STUDIES}
+    assert by_name["LiteTM"].abort_ratio_max == 0.794
+    assert by_name["SBCR-HTM"].abort_ratio_max == 0.759
+    assert by_name["LogTM"].abort_ratio_max == 0.15
+
+
+def test_table_six_processors():
+    assert len(PROCESSORS) == 3
+    assert ROCK.cores == 16 and ROCK.tdp_w == 250 and ROCK.area_mm2 == 396
+    names = [p.name for p in PROCESSORS]
+    assert "UltraSPARC T1" in names and "UltraSPARC T2" in names

@@ -1,0 +1,43 @@
+"""Unit tests for the randomized exponential backoff policy."""
+
+import numpy as np
+
+from repro.config import HTMConfig
+from repro.htm.backoff import BackoffPolicy
+
+
+def make(seed=1, **kw):
+    return BackoffPolicy(HTMConfig(**kw), np.random.default_rng(seed))
+
+
+def test_no_aborts_no_backoff():
+    assert make().delay(0) == 0
+
+
+def test_delay_within_window():
+    policy = make(backoff_base=32, backoff_cap=4096)
+    for n in range(1, 10):
+        for _ in range(20):
+            d = policy.delay(n)
+            window = min(32 << (n - 1), 4096)
+            assert max(1, window // 2) <= d <= window
+
+
+def test_windows_grow_then_cap():
+    policy = make(backoff_base=32, backoff_cap=256)
+    small = max(policy.delay(1) for _ in range(50))
+    capped = max(policy.delay(10) for _ in range(50))
+    assert small <= 32
+    assert capped <= 256
+
+
+def test_deterministic_for_seed():
+    a = [make(seed=7).delay(3) for _ in range(1)]
+    b = [make(seed=7).delay(3) for _ in range(1)]
+    assert a == b
+
+
+def test_jitter_varies():
+    policy = make(seed=5, backoff_cap=1 << 20)
+    draws = {policy.delay(6) for _ in range(30)}
+    assert len(draws) > 1

@@ -1,0 +1,81 @@
+"""Unit tests for DynTM's history-based mode selector."""
+
+from repro.config import DynTMConfig, SimConfig
+from repro.htm.transaction import TxFrame
+from repro.htm.vm.dyntm import DynTM
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+def make_dyntm(eager="fastm", **dyntm_kw):
+    cfg = SimConfig(n_cores=4, dyntm=DynTMConfig(**dyntm_kw))
+    return DynTM(cfg, MemoryHierarchy(cfg), eager_vm=eager)
+
+
+def frame_for(site, mode):
+    f = TxFrame.create(site, lambda: iter(()), 0, 0, 0,
+                       SimConfig().signature, mode=mode)
+    return f
+
+
+def test_starts_eager():
+    vm = make_dyntm()
+    assert vm.mode_for(0, site=1) == "eager"
+
+
+def test_eager_aborts_drift_to_lazy():
+    vm = make_dyntm()
+    f = frame_for(1, "eager")
+    vm.note_outcome(0, f, committed=False)
+    assert vm.mode_for(0, 1) == "eager"   # counter 1 < threshold 2
+    vm.note_outcome(0, f, committed=False)
+    assert vm.mode_for(0, 1) == "lazy"
+
+
+def test_counter_saturates():
+    vm = make_dyntm(counter_bits=2)
+    f = frame_for(1, "eager")
+    for _ in range(10):
+        vm.note_outcome(0, f, committed=False)
+    assert vm._counters[1] == 3
+
+
+def test_lazy_overflow_forces_eager():
+    vm = make_dyntm()
+    vm._counters[1] = 3
+    f = frame_for(1, "lazy")
+    f.vm["must_abort"] = "overflow"
+    vm.note_outcome(0, f, committed=False)
+    assert vm._counters[1] == 0
+    assert vm.mode_for(0, 1) == "eager"
+
+
+def test_heavy_lazy_commit_drifts_back():
+    vm = make_dyntm()
+    vm._counters[1] = 3
+    f = frame_for(1, "lazy")
+    f.vm["spec_lines"] = set(range(100))
+    vm.note_outcome(0, f, committed=True)
+    assert vm._counters[1] == 2          # still lazy, but drifting
+
+
+def test_sites_are_independent():
+    vm = make_dyntm()
+    f1 = frame_for(1, "eager")
+    vm.note_outcome(0, f1, committed=False)
+    vm.note_outcome(0, f1, committed=False)
+    assert vm.mode_for(0, 1) == "lazy"
+    assert vm.mode_for(0, 2) == "eager"
+
+
+def test_eager_commit_keeps_mode():
+    vm = make_dyntm()
+    f = frame_for(1, "eager")
+    vm.note_outcome(0, f, committed=True)
+    assert vm.mode_for(0, 1) == "eager"
+
+
+def test_suv_variant_shares_version_clock():
+    vm = make_dyntm(eager="suv")
+    assert vm.line_versions is vm.lazy.line_versions
+    assert vm.lazy.publish_by_redirect
+    assert not make_dyntm(eager="fastm").lazy.publish_by_redirect

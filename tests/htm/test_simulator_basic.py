@@ -1,0 +1,186 @@
+"""Engine integration tests: single-thread semantics of the simulator."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.htm.ops import Barrier, Read, Tx, Work, Write
+from repro.simulator import Simulator
+
+SCHEMES = ["logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv"]
+
+
+def small_config(**kw):
+    return SimConfig(n_cores=4, **kw)
+
+
+def run_threads(threads, scheme="suv", config=None, seed=7):
+    sim = Simulator(config or small_config(), scheme=scheme, seed=seed)
+    return sim.run(threads)
+
+
+def test_empty_thread_finishes():
+    def thread():
+        return
+        yield  # pragma: no cover
+
+    res = run_threads([thread])
+    assert res.total_cycles == 0
+    assert res.commits == 0
+
+
+def test_work_charges_notrans():
+    def thread():
+        yield Work(123)
+
+    res = run_threads([thread])
+    assert res.total_cycles == 123
+    assert res.breakdown.cycles["NoTrans"] == 123
+
+
+def test_nontx_write_then_read_roundtrip():
+    seen = []
+
+    def thread():
+        yield Write(0x100, 77)
+        v = yield Read(0x100)
+        seen.append(v)
+
+    res = run_threads([thread])
+    assert seen == [77]
+    assert res.memory[0x100] == 77
+    assert res.breakdown.cycles["NoTrans"] > 0
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_committed_tx_publishes(scheme):
+    def thread():
+        def body():
+            v = yield Read(0x200)
+            yield Write(0x200, v + 5)
+        yield Tx(body, site=1)
+
+    res = run_threads([thread], scheme=scheme)
+    assert res.commits == 1
+    assert res.aborts == 0
+    assert res.memory[0x200] == 5
+    assert res.breakdown.cycles["Trans"] > 0
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_read_your_own_write(scheme):
+    seen = []
+
+    def thread():
+        def body():
+            yield Write(0x300, 9)
+            v = yield Read(0x300)
+            seen.append(v)
+        yield Tx(body)
+
+    run_threads([thread], scheme=scheme)
+    assert seen == [9]
+
+
+def test_tx_return_value_is_sent_back():
+    got = []
+
+    def thread():
+        def body():
+            yield Write(0x10, 1)
+            return 42
+        out = yield Tx(body)
+        got.append(out)
+
+    run_threads([thread])
+    assert got == [42]
+
+
+@pytest.mark.parametrize("scheme", ["logtm-se", "fastm", "suv"])
+def test_nested_commit_merges_into_parent(scheme):
+    def thread():
+        def inner():
+            yield Write(0x48, 2)
+
+        def outer():
+            yield Write(0x40, 1)
+            yield Tx(inner)
+            yield Write(0x50, 3)
+
+        yield Tx(outer)
+
+    res = run_threads([thread], scheme=scheme)
+    assert res.commits == 1  # only outermost commits count
+    assert res.memory[0x40] == 1
+    assert res.memory[0x48] == 2
+    assert res.memory[0x50] == 3
+
+
+def test_barrier_synchronizes_two_threads():
+    order = []
+
+    def t0():
+        yield Work(10)
+        order.append(("t0", "pre"))
+        yield Barrier(0)
+        order.append(("t0", "post"))
+
+    def t1():
+        yield Work(500)
+        order.append(("t1", "pre"))
+        yield Barrier(0)
+        order.append(("t1", "post"))
+
+    res = run_threads([t0, t1])
+    pres = [e for e in order if e[1] == "pre"]
+    posts = [e for e in order if e[1] == "post"]
+    assert order.index(pres[-1]) < order.index(posts[0])
+    assert res.breakdown.cycles["Barrier"] > 0
+
+
+def test_barrier_inside_tx_rejected():
+    def thread():
+        def body():
+            yield Barrier(0)
+        yield Tx(body)
+
+    with pytest.raises(Exception):
+        run_threads([thread])
+
+
+def test_more_threads_than_cores_are_multiplexed():
+    def t():
+        yield Work(1)
+
+    res = run_threads([t] * 5, config=small_config())
+    assert res.n_threads == 5
+    assert res.total_cycles >= 1
+
+
+def test_deterministic_given_seed():
+    def thread():
+        def body():
+            v = yield Read(0x80)
+            yield Write(0x80, v + 1)
+        for _ in range(5):
+            yield Tx(body)
+            yield Work(13)
+
+    r1 = run_threads([thread, thread], seed=3)
+    r2 = run_threads([thread, thread], seed=3)
+    assert r1.total_cycles == r2.total_cycles
+    assert r1.breakdown.as_dict() == r2.breakdown.as_dict()
+
+
+def test_component_sum_matches_finish_time_single_thread():
+    def thread():
+        yield Work(50)
+
+        def body():
+            yield Write(0x900, 1)
+            yield Work(30)
+        yield Tx(body)
+        yield Work(20)
+
+    res = run_threads([thread])
+    # with no contention every cycle lands in exactly one component
+    assert res.breakdown.total == res.total_cycles

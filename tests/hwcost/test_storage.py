@@ -1,0 +1,56 @@
+"""Tests for the Section V-C storage/energy/area arithmetic."""
+
+import pytest
+
+from repro.config import RedirectConfig, SimConfig
+from repro.hwcost.storage import (
+    cmp_energy_bound_joules,
+    cmp_table_area_mm2,
+    per_core_storage_bytes,
+    per_core_storage_fraction_of_l1,
+    suv_overhead_report,
+)
+
+
+def test_per_core_storage_is_1_875_kb():
+    # (2 Kb + 2 Kb + 22 b * 512) / 8 = 1.875 KB
+    assert per_core_storage_bytes() == pytest.approx(1.875 * 1024)
+
+
+def test_fraction_of_l1_is_5_86_percent():
+    assert per_core_storage_fraction_of_l1() == pytest.approx(0.0586, abs=5e-4)
+
+
+def test_energy_bound_below_3_joules():
+    # 0.5 * (0.150 + 0.163) nJ * 16 cores * 1.2 GHz ≈ 3 J
+    e = cmp_energy_bound_joules()
+    assert e == pytest.approx(3.0, rel=0.01)
+    # ~1.2% of the Rock processor's 250 W
+    assert e / 250 == pytest.approx(0.012, abs=2e-3)
+
+
+def test_area_matches_paper():
+    # 0.5 * 16 * 0.282 = 2.256 mm², ~0.6% of Rock's 396 mm²
+    a = cmp_table_area_mm2()
+    assert a == pytest.approx(2.256, abs=1e-3)
+    assert a / 396 == pytest.approx(0.006, abs=1e-3)
+
+
+def test_report_has_all_figures():
+    rep = suv_overhead_report()
+    assert rep["per_core_kb"] == pytest.approx(1.875)
+    assert rep["fraction_of_l1"] == pytest.approx(0.0586, abs=5e-4)
+    assert rep["cmp_energy_joules_per_s"] < 3.01
+    assert rep["cmp_area_mm2"] == pytest.approx(2.256, abs=1e-3)
+    assert rep["area_fraction_of_rock"] < 0.01
+    assert rep["energy_fraction_of_rock_tdp"] < 0.02
+
+
+def test_storage_scales_with_config():
+    small = RedirectConfig(l1_entries=128)
+    assert per_core_storage_bytes(small) < per_core_storage_bytes()
+
+
+def test_energy_scales_with_cores():
+    big = SimConfig(n_cores=32)
+    assert cmp_energy_bound_joules(big) > cmp_energy_bound_joules()

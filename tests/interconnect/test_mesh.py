@@ -1,0 +1,68 @@
+"""Unit tests for the mesh interconnect model."""
+
+import pytest
+
+from repro.config import MeshConfig
+from repro.interconnect.mesh import Mesh
+
+
+@pytest.fixture
+def mesh():
+    return Mesh(16, MeshConfig())
+
+
+def test_16_cores_form_4x4(mesh):
+    assert mesh.side == 4
+    assert mesh.core_position(0) == (0, 0)
+    assert mesh.core_position(5) == (1, 1)
+    assert mesh.core_position(15) == (3, 3)
+
+
+def test_hop_latency_is_wire_plus_route(mesh):
+    # Table III: 2-cycle wire + 1-cycle route
+    assert mesh.config.hop_latency == 3
+    assert mesh.latency((0, 0), (0, 1)) == 3
+    assert mesh.latency((0, 0), (3, 3)) == 6 * 3
+
+
+def test_core_to_core_is_symmetric(mesh):
+    for a in range(16):
+        for b in range(16):
+            assert mesh.core_to_core(a, b) == mesh.core_to_core(b, a)
+
+
+def test_self_latency_zero(mesh):
+    assert mesh.core_to_core(3, 3) == 0
+
+
+def test_banks_interleave_lines(mesh):
+    assert mesh.bank_of_line(0) == 0
+    assert mesh.bank_of_line(1) == 1
+    assert mesh.bank_of_line(5) == 1
+    assert {mesh.bank_of_line(i) for i in range(8)} == {0, 1, 2, 3}
+
+
+def test_banks_sit_at_corners(mesh):
+    assert mesh._bank_nodes == [(0, 0), (0, 3), (3, 0), (3, 3)]
+
+
+def test_corner_core_reaches_local_bank_free(mesh):
+    # core 0 at (0,0), bank 0 at (0,0): lines mapping to bank 0 are local
+    assert mesh.core_to_bank(0, 0) == 0
+
+
+def test_non_square_core_count_rounds_up():
+    m = Mesh(8, MeshConfig())
+    assert m.side == 3
+    assert m.core_position(7) == (2, 1)
+
+
+def test_core_out_of_range_rejected(mesh):
+    with pytest.raises(ValueError):
+        mesh.core_position(16)
+
+
+def test_avg_core_to_bank_between_min_and_max(mesh):
+    avg = mesh.avg_core_to_bank(0)
+    lats = [mesh.core_to_bank(c, 0) for c in range(16)]
+    assert min(lats) <= avg <= max(lats)

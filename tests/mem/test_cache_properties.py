@@ -1,0 +1,93 @@
+"""Property tests for the cache and hierarchy substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, SimConfig
+from repro.mem.cache import CacheLineState as S
+from repro.mem.cache import SetAssocCache
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@given(st.lists(st.integers(0, 200), min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_cache_never_exceeds_capacity(lines):
+    cache = SetAssocCache(CacheConfig(size_bytes=8 * 4 * 64, ways=4, latency=1))
+    for line in lines:
+        cache.insert(line, S.EXCLUSIVE)
+        assert cache.occupancy <= cache.n_sets * cache.ways
+        # per-set bound too
+        for cset in cache._sets:
+            assert len(cset) <= cache.ways
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_most_recent_line_always_resident(lines):
+    cache = SetAssocCache(CacheConfig(size_bytes=4 * 2 * 64, ways=2, latency=1))
+    for line in lines:
+        cache.insert(line, S.EXCLUSIVE)
+        assert cache.peek(line) is not None
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 40), st.booleans()),
+        min_size=1, max_size=120,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_mesi_single_writer_multiple_readers(ops):
+    """After any access sequence: at most one M/E holder per line, and
+    an M/E holder excludes all other holders (the MESI invariant)."""
+    hier = MemoryHierarchy(SimConfig(n_cores=4))
+    for core, line, is_write in ops:
+        if is_write:
+            hier.write(core, line)
+        else:
+            hier.read(core, line)
+        # inspect every line's holder states
+        holders: dict[int, list[tuple[int, S]]] = {}
+        for c in range(4):
+            for ln in hier.l1s[c].resident_lines():
+                entry = hier.l1s[c].peek(ln)
+                holders.setdefault(ln, []).append((c, entry.state))
+        for ln, hs in holders.items():
+            exclusive = [c for c, stt in hs if stt in (S.MODIFIED, S.EXCLUSIVE)]
+            if exclusive:
+                assert len(hs) == 1, f"line {ln}: M/E with sharers: {hs}"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 40), st.booleans()),
+        min_size=1, max_size=120,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_directory_agrees_with_caches(ops):
+    hier = MemoryHierarchy(SimConfig(n_cores=4))
+    for core, line, is_write in ops:
+        (hier.write if is_write else hier.read)(core, line)
+    for c in range(4):
+        for ln in hier.l1s[c].resident_lines():
+            assert c in hier.directory.holders(ln), (
+                f"core {c} holds line {ln} unknown to the directory"
+            )
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 60), st.booleans()),
+        min_size=1, max_size=100,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_access_latencies_are_positive_and_bounded(ops):
+    cfg = SimConfig(n_cores=4)
+    hier = MemoryHierarchy(cfg)
+    worst = (cfg.l1.latency + 40 + cfg.directory.latency
+             + cfg.l2.latency + cfg.memory.latency + 100)
+    for core, line, is_write in ops:
+        res = (hier.write if is_write else hier.read)(core, line)
+        assert 0 < res.latency <= worst

@@ -1,0 +1,62 @@
+"""Unit tests for the sharer directory."""
+
+from repro.config import DirectoryConfig
+from repro.mem.directory import Directory
+
+
+def make_dir():
+    return Directory(DirectoryConfig(), n_cores=4)
+
+
+def test_untracked_line_has_no_holders():
+    d = make_dir()
+    assert d.holders(100) == set()
+    assert d.owner_of(100) is None
+
+
+def test_record_owner_clears_sharers():
+    d = make_dir()
+    d.record_shared(1, 0)
+    d.record_shared(1, 2)
+    d.record_owner(1, 3)
+    assert d.owner_of(1) == 3
+    assert d.holders(1) == {3}
+
+
+def test_record_shared_demotes_previous_owner():
+    d = make_dir()
+    d.record_owner(1, 0)
+    d.record_shared(1, 1)
+    assert d.owner_of(1) is None
+    assert d.holders(1) == {0, 1}
+
+
+def test_drop_removes_core_and_garbage_collects():
+    d = make_dir()
+    d.record_shared(5, 0)
+    d.record_shared(5, 1)
+    d.drop(5, 0)
+    assert d.holders(5) == {1}
+    d.drop(5, 1)
+    assert d.tracked_lines == 0
+
+
+def test_drop_owner():
+    d = make_dir()
+    d.record_owner(9, 2)
+    d.drop(9, 2)
+    assert d.owner_of(9) is None
+    assert d.holders(9) == set()
+
+
+def test_latency_from_config():
+    d = make_dir()
+    assert d.latency == 6
+
+
+def test_self_reshared_owner():
+    d = make_dir()
+    d.record_owner(4, 1)
+    d.record_shared(4, 1)
+    assert d.owner_of(4) is None
+    assert d.holders(4) == {1}

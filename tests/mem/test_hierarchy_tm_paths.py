@@ -1,0 +1,98 @@
+"""Unit tests for the TM-specific hierarchy paths: allocate_write
+(SUV pool lines), local_write (lazy buffering), invalidate_remote
+(SUV-based lazy publication)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.mem.cache import CacheLineState as S
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def hier():
+    return MemoryHierarchy(SimConfig())
+
+
+# -- allocate_write ----------------------------------------------------
+
+def test_allocate_write_is_l1_latency_only(hier):
+    res = hier.allocate_write(0, 0x4000)
+    assert res.latency == hier.config.l1.latency
+    entry = hier.l1s[0].peek(0x4000)
+    assert entry.state is S.MODIFIED and entry.dirty
+
+
+def test_allocate_write_registers_ownership(hier):
+    hier.allocate_write(2, 99)
+    assert hier.directory.owner_of(99) == 2
+
+
+def test_allocate_write_existing_line_upgrades(hier):
+    hier.read(0, 50)
+    res = hier.allocate_write(0, 50)
+    assert res.l1_hit
+    assert hier.l1s[0].peek(50).state is S.MODIFIED
+
+
+def test_allocate_write_reports_evictions(hier):
+    sets = hier.config.l1.n_sets
+    for i in range(hier.config.l1.ways):
+        hier.allocate_write(0, 7 + i * sets)
+    res = hier.allocate_write(0, 7 + hier.config.l1.ways * sets)
+    assert res.evicted
+
+
+def test_allocate_write_speculative_flag(hier):
+    hier.allocate_write(0, 123, speculative=True)
+    assert hier.l1s[0].peek(123).speculative
+
+
+# -- local_write -------------------------------------------------------
+
+def test_local_write_does_not_invalidate_remote_copies(hier):
+    hier.read(0, 77)
+    hier.read(1, 77)
+    hier.local_write(0, 77, speculative=True)
+    # core 1's copy survives: the write is invisible
+    assert hier.l1s[1].peek(77) is not None
+
+
+def test_local_write_does_not_update_directory_ownership(hier):
+    hier.read(1, 88)          # core 1 owns E
+    hier.local_write(0, 88, speculative=True)
+    assert hier.directory.owner_of(88) != 0
+
+
+def test_local_write_hit_is_cheap(hier):
+    hier.local_write(0, 5)
+    res = hier.local_write(0, 5)
+    assert res.l1_hit and res.latency == hier.config.l1.latency
+
+
+def test_local_write_miss_fills_from_below(hier):
+    res = hier.local_write(0, 0x9999)
+    assert not res.l1_hit
+    assert res.latency > hier.config.l1.latency
+
+
+# -- invalidate_remote ---------------------------------------------------
+
+def test_invalidate_remote_clears_other_copies(hier):
+    hier.read(1, 200)
+    hier.read(2, 200)
+    lat = hier.invalidate_remote(0, 200)
+    assert hier.l1s[1].peek(200) is None
+    assert hier.l1s[2].peek(200) is None
+    assert lat >= hier.config.directory.latency
+
+
+def test_invalidate_remote_keeps_own_copy(hier):
+    hier.read(0, 300)
+    hier.invalidate_remote(0, 300)
+    assert hier.l1s[0].peek(300) is not None
+
+
+def test_invalidate_remote_no_holders_costs_directory_only(hier):
+    lat = hier.invalidate_remote(0, 0x5000)
+    assert lat <= hier.mesh.core_to_bank(0, 0x5000) + hier.config.directory.latency

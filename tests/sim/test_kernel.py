@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import EventQueue
+
+
+def test_events_run_in_time_order():
+    q = EventQueue()
+    order = []
+    q.schedule(30, lambda: order.append("c"))
+    q.schedule(10, lambda: order.append("a"))
+    q.schedule(20, lambda: order.append("b"))
+    q.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    order = []
+    for tag in "xyz":
+        q.schedule(5, lambda t=tag: order.append(t))
+    q.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_now_advances_to_event_time():
+    q = EventQueue()
+    seen = []
+    q.schedule(7, lambda: seen.append(q.now))
+    q.schedule(42, lambda: seen.append(q.now))
+    q.run()
+    assert seen == [7, 42]
+
+
+def test_nested_scheduling_is_relative_to_current_time():
+    q = EventQueue()
+    seen = []
+
+    def outer():
+        q.schedule(5, lambda: seen.append(q.now))
+
+    q.schedule(10, outer)
+    q.run()
+    assert seen == [15]
+
+
+def test_cancelled_event_is_skipped():
+    q = EventQueue()
+    hit = []
+    ev = q.schedule(1, lambda: hit.append(1))
+    ev.cancel()
+    q.schedule(2, lambda: hit.append(2))
+    q.run()
+    assert hit == [2]
+
+
+def test_negative_delay_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.schedule(-1, lambda: None)
+
+
+def test_at_schedules_absolute_time():
+    q = EventQueue()
+    seen = []
+    q.schedule(3, lambda: q.at(9, lambda: seen.append(q.now)))
+    q.run()
+    assert seen == [9]
+
+
+def test_event_budget_guard():
+    q = EventQueue()
+
+    def rearm():
+        q.schedule(1, rearm)
+
+    q.schedule(1, rearm)
+    with pytest.raises(RuntimeError, match="event budget"):
+        q.run(max_events=100)
+
+
+def test_time_budget_guard():
+    q = EventQueue()
+
+    def rearm():
+        q.schedule(10, rearm)
+
+    q.schedule(10, rearm)
+    with pytest.raises(RuntimeError, match="time budget"):
+        q.run(max_time=1000)
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    a = q.schedule(1, lambda: None)
+    q.schedule(2, lambda: None)
+    assert len(q) == 2
+    a.cancel()
+    assert len(q) == 1
+
+
+def test_run_returns_executed_count():
+    q = EventQueue()
+    for i in range(5):
+        q.schedule(i, lambda: None)
+    assert q.run() == 5

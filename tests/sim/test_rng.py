@@ -1,0 +1,37 @@
+"""Unit tests for deterministic RNG streams."""
+
+from repro.sim.rng import RngStreams, _stable_key
+
+
+def test_same_seed_same_stream():
+    a = RngStreams(42).stream("workload").integers(0, 1 << 30, 16)
+    b = RngStreams(42).stream("workload").integers(0, 1 << 30, 16)
+    assert (a == b).all()
+
+
+def test_different_names_differ():
+    s = RngStreams(42)
+    a = s.stream("alpha").integers(0, 1 << 30, 16)
+    b = s.stream("beta").integers(0, 1 << 30, 16)
+    assert not (a == b).all()
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x").integers(0, 1 << 30, 16)
+    b = RngStreams(2).stream("x").integers(0, 1 << 30, 16)
+    assert not (a == b).all()
+
+
+def test_stream_is_cached_not_restarted():
+    s = RngStreams(7)
+    first = s.stream("w").integers(0, 100, 4).tolist()
+    second = s.stream("w").integers(0, 100, 4).tolist()
+    # same generator keeps advancing; a fresh RngStreams reproduces both
+    t = RngStreams(7)
+    assert t.stream("w").integers(0, 100, 4).tolist() == first
+    assert t.stream("w").integers(0, 100, 4).tolist() == second
+
+
+def test_stable_key_is_stable():
+    assert _stable_key("backoff") == _stable_key("backoff")
+    assert _stable_key("backoff") != _stable_key("backofg")

@@ -1,0 +1,73 @@
+"""Unit tests for the execution-time breakdown."""
+
+import pytest
+
+from repro.stats.breakdown import COMPONENTS, Breakdown
+
+
+def test_components_match_paper():
+    assert COMPONENTS == (
+        "NoTrans", "Trans", "Barrier", "Backoff", "Stalled", "Wasted",
+        "Aborting", "Committing",
+    )
+
+
+def test_add_and_total():
+    bd = Breakdown()
+    bd.add("Trans", 100)
+    bd.add("Stalled", 50)
+    assert bd.total == 150
+    assert bd.cycles["Trans"] == 100
+
+
+def test_unknown_component_rejected():
+    with pytest.raises(KeyError):
+        Breakdown().add("Mystery", 1)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        Breakdown().add("Trans", -5)
+
+
+def test_overhead_excludes_useful_components():
+    bd = Breakdown()
+    bd.add("NoTrans", 10)
+    bd.add("Trans", 20)
+    bd.add("Barrier", 5)
+    bd.add("Wasted", 7)
+    bd.add("Aborting", 3)
+    assert bd.overhead == 10
+
+
+def test_fraction():
+    bd = Breakdown()
+    bd.add("Trans", 75)
+    bd.add("Stalled", 25)
+    assert bd.fraction("Trans") == 0.75
+    assert Breakdown().fraction("Trans") == 0.0
+
+
+def test_normalized_to_baseline():
+    bd = Breakdown()
+    bd.add("Trans", 50)
+    norm = bd.normalized_to(200)
+    assert norm["Trans"] == 0.25
+    with pytest.raises(ValueError):
+        bd.normalized_to(0)
+
+
+def test_merge():
+    a, b = Breakdown(), Breakdown()
+    a.add("Trans", 1)
+    b.add("Trans", 2)
+    b.add("Backoff", 3)
+    a.merge(b)
+    assert a.cycles["Trans"] == 3 and a.cycles["Backoff"] == 3
+
+
+def test_repr_mentions_nonzero_components():
+    bd = Breakdown()
+    bd.add("Wasted", 9)
+    assert "Wasted=9" in repr(bd)
+    assert repr(Breakdown()) == "Breakdown(empty)"

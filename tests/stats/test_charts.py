@@ -1,0 +1,58 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.stats.breakdown import Breakdown
+from repro.stats.charts import breakdown_chart, line_plot, stacked_bar
+
+
+def bd(**kw):
+    b = Breakdown()
+    for k, v in kw.items():
+        b.add(k, v)
+    return b
+
+
+def test_stacked_bar_width_matches_share():
+    b = bd(Trans=50, Stalled=50)
+    bar = stacked_bar(b, baseline_total=100, width=60)
+    assert len(bar) == 60
+    assert bar.count("#") == 30 and bar.count("s") == 30
+
+
+def test_stacked_bar_shorter_than_baseline():
+    b = bd(Trans=25)
+    bar = stacked_bar(b, baseline_total=100, width=40)
+    assert len(bar) == 10
+
+
+def test_stacked_bar_rejects_bad_baseline():
+    with pytest.raises(ValueError):
+        stacked_bar(bd(Trans=1), 0)
+
+
+def test_breakdown_chart_normalizes():
+    chart = breakdown_chart({"L": bd(Trans=100), "S": bd(Trans=25)})
+    lines = chart.splitlines()
+    assert "1.00" in lines[0] and "0.25" in lines[1]
+    assert "legend" in lines[-1]
+
+
+def test_breakdown_chart_empty():
+    assert breakdown_chart({}) == "(no results)"
+
+
+def test_line_plot_contains_extremes():
+    plot = line_plot([(1, 10.0), (2, 20.0), (4, 15.0)], title="t")
+    assert plot.splitlines()[0] == "t"
+    assert "20" in plot and "10" in plot
+    assert plot.count("*") == 3
+
+
+def test_line_plot_flat_series():
+    plot = line_plot([(1, 5.0), (2, 5.0)])
+    assert plot.count("*") >= 1
+
+
+def test_line_plot_empty():
+    assert line_plot([]) == "(no data)"

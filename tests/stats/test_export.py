@@ -1,0 +1,40 @@
+"""Tests for the JSON exporter."""
+
+import json
+
+from repro.config import SimConfig
+from repro.htm.ops import Tx, Write
+from repro.simulator import Simulator
+from repro.stats.export import result_to_dict, results_to_json
+
+
+def small_result():
+    def thread():
+        def body():
+            yield Write(0x100, 5)
+        yield Tx(body)
+
+    return Simulator(SimConfig(n_cores=2), scheme="suv").run([thread])
+
+
+def test_result_roundtrips_through_json():
+    res = small_result()
+    blob = json.loads(results_to_json({"suv": res}))
+    assert blob["suv"]["commits"] == 1
+    assert blob["suv"]["breakdown"]["Trans"] > 0
+    assert blob["suv"]["scheme"] == "suv"
+
+
+def test_memory_excluded_by_default():
+    d = result_to_dict(small_result())
+    assert "memory" not in d
+
+
+def test_memory_included_on_request():
+    d = result_to_dict(small_result(), include_memory=True)
+    assert d["memory"][str(0x100)] == 5
+
+
+def test_stats_are_floats():
+    d = result_to_dict(small_result())
+    assert all(isinstance(v, float) for v in d["scheme_stats"].values())

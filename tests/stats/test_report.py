@@ -1,0 +1,47 @@
+"""Unit tests for the ASCII table renderers."""
+
+from repro.stats.breakdown import Breakdown
+from repro.stats.report import format_breakdown_table, format_table
+
+
+def test_format_table_alignment():
+    out = format_table(["a", "long-header"], [[1, 2], [333, 4]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+
+def test_format_table_title():
+    out = format_table(["x"], [[1]], title="hello")
+    assert out.splitlines()[0] == "hello"
+
+
+def test_format_table_floats_rounded():
+    out = format_table(["v"], [[0.123456]])
+    assert "0.123" in out and "0.123456" not in out
+
+
+def test_format_table_empty_rows():
+    out = format_table(["only", "headers"], [])
+    assert "only" in out
+
+
+def test_breakdown_table_normalizes_to_first():
+    a, b = Breakdown(), Breakdown()
+    a.add("Trans", 100)
+    b.add("Trans", 50)
+    out = format_breakdown_table({"base": a, "half": b})
+    assert "0.500" in out
+    assert "1.000" in out
+
+
+def test_breakdown_table_explicit_baseline():
+    a, b = Breakdown(), Breakdown()
+    a.add("Trans", 100)
+    b.add("Trans", 50)
+    out = format_breakdown_table({"a": a, "b": b}, baseline="b")
+    assert "2.000" in out
+
+
+def test_breakdown_table_empty():
+    assert format_breakdown_table({}) == "(no results)"

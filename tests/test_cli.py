@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "genome" in out and "suv" in out and "dyntm+suv" in out
+
+
+def test_hwcost_command(capsys):
+    assert main(["hwcost"]) == 0
+    out = capsys.readouterr().out
+    assert "Table VII" in out
+    assert "1.382" in out  # 90nm access time
+
+
+def test_run_command(capsys):
+    rc = main(["run", "ssca2", "suv", "--scale", "tiny", "--cores", "4",
+               "--stagger", "0"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "commits" in out and "NoTrans" in out
+
+
+def test_run_with_stats(capsys):
+    main(["run", "ssca2", "suv", "--scale", "tiny", "--cores", "4",
+          "--stats"])
+    out = capsys.readouterr().out
+    assert "redirects" in out
+
+
+def test_compare_command(capsys):
+    rc = main(["compare", "ssca2", "--scale", "tiny", "--cores", "4",
+               "--schemes", "logtm-se", "suv"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "normalized to logtm-se" in out
+
+
+def test_sweep_command(capsys):
+    rc = main(["sweep", "ssca2", "l1_entries", "64", "512",
+               "--scale", "tiny", "--cores", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "sweep of l1_entries" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "quicksort"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

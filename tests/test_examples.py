@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion and prints the
+expected landmarks."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 420) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_pathologies_example():
+    out = run_example("pathologies.py")
+    assert "repair pathology" in out or "Aborting" in out
+    assert "logtm-se" in out and "suv" in out and "lazy" in out
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py", "ssca2", "suv")
+    assert "execution-time breakdown" in out
+    assert "redirect-entry states" in out
+    assert "LOCAL_VALID" in out
+
+
+@pytest.mark.slow
+def test_compare_schemes_example():
+    out = run_example("compare_schemes.py", "intruder", "tiny")
+    assert "SUV speedup over LogTM-SE" in out
+    assert "normalized to LogTM-SE" in out
+
+
+@pytest.mark.slow
+def test_contention_study_example():
+    out = run_example("contention_study.py")
+    assert "contention sweep" in out
+    assert "SUV vs FasTM" in out
+
+
+def test_suspension_demo_example():
+    out = run_example("suspension_demo.py")
+    assert "context switches" in out
+    assert "open nesting" in out

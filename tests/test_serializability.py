@@ -1,0 +1,142 @@
+"""Property-based end-to-end test: under every version-management
+scheme, randomly-generated concurrent transactional programs produce
+results identical to *some* serial execution.
+
+For commutative increment workloads the serial result is unique, so we
+can check it exactly; for read-dependent transfers we check the global
+conservation invariant instead.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import HTMConfig, SimConfig
+from repro.htm.ops import Read, Tx, Work, Write
+from repro.simulator import Simulator
+
+SCHEMES = ["logtm-se", "fastm", "suv", "dyntm", "dyntm+suv", "lazy"]
+
+
+@st.composite
+def increment_plan(draw):
+    n_threads = draw(st.integers(2, 4))
+    n_words = draw(st.integers(1, 6))
+    plan = []
+    for _ in range(n_threads):
+        txs = draw(
+            st.lists(
+                st.lists(st.integers(0, n_words - 1), min_size=1, max_size=4),
+                min_size=1, max_size=4,
+            )
+        )
+        plan.append(txs)
+    return n_words, plan
+
+
+@given(increment_plan(), st.sampled_from(SCHEMES), st.integers(0, 3))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_increments_are_atomic(plan_data, scheme, seed):
+    n_words, plan = plan_data
+    base = 0x8000
+    expected = {}
+    for txs in plan:
+        for tx in txs:
+            for w in tx:
+                expected[w] = expected.get(w, 0) + 1
+
+    def make_thread(txs):
+        def thread():
+            for tx in txs:
+                def body(tx=tx):
+                    for w in tx:
+                        v = yield Read(base + w * 8)
+                        yield Work(7)
+                        yield Write(base + w * 8, v + 1)
+                yield Tx(body, site=1)
+        return thread
+
+    cfg = SimConfig(n_cores=4)
+    sim = Simulator(cfg, scheme=scheme, seed=seed)
+    res = sim.run([make_thread(txs) for txs in plan])
+    for w, count in expected.items():
+        assert res.memory.get(base + w * 8, 0) == count
+
+
+@given(st.integers(0, 5), st.sampled_from(SCHEMES))
+@settings(max_examples=24, deadline=None)
+def test_transfers_conserve_total(seed, scheme):
+    """Random money transfers between 8 accounts: the total is invariant
+    and no account observes a torn (partially-applied) transfer."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    n_accounts, initial = 8, 100
+    base = 0x8000
+    moves = [
+        (int(rng.integers(n_accounts)), int(rng.integers(n_accounts)),
+         int(rng.integers(1, 20)))
+        for _ in range(24)
+    ]
+
+    def make_thread(tid):
+        my_moves = moves[tid::3]
+
+        def thread():
+            if tid == 0:
+                for a in range(n_accounts):
+                    yield Write(base + a * 8, initial)
+            from repro.htm.ops import Barrier
+            yield Barrier(0)
+            for src, dst, amount in my_moves:
+                def body(src=src, dst=dst, amount=amount):
+                    s = yield Read(base + src * 8)
+                    if s < amount:
+                        return
+                    yield Work(11)
+                    yield Write(base + src * 8, s - amount)
+                    d = yield Read(base + dst * 8)
+                    yield Write(base + dst * 8, d + amount)
+                yield Tx(body, site=2)
+        return thread
+
+    sim = Simulator(SimConfig(n_cores=4), scheme=scheme, seed=seed)
+    res = sim.run([make_thread(t) for t in range(3)])
+    total = sum(res.memory.get(base + a * 8, 0) for a in range(n_accounts))
+    assert total == n_accounts * initial
+    assert all(res.memory.get(base + a * 8, 0) >= 0 for a in range(n_accounts))
+
+
+@given(increment_plan(), st.sampled_from(["logtm-se", "suv", "dyntm"]),
+       st.integers(0, 3))
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_increments_atomic_under_multiplexing(plan_data, scheme, seed):
+    """The same atomicity property with twice as many threads as cores
+    and a tiny time slice (mid-transaction suspension everywhere)."""
+    n_words, plan = plan_data
+    base = 0x8000
+    expected = {}
+    for txs in plan:
+        for tx in txs:
+            for w in tx:
+                expected[w] = expected.get(w, 0) + 1
+
+    def make_thread(txs):
+        def thread():
+            for tx in txs:
+                def body(tx=tx):
+                    for w in tx:
+                        v = yield Read(base + w * 8)
+                        yield Work(7)
+                        yield Write(base + w * 8, v + 1)
+                yield Tx(body, site=1)
+        return thread
+
+    threads = [make_thread(txs) for txs in plan] * 2  # duplicate the plan
+    cfg = SimConfig(n_cores=2, htm=HTMConfig(time_slice=300))
+    res = Simulator(cfg, scheme=scheme, seed=seed).run(
+        threads, max_events=30_000_000
+    )
+    for w, count in expected.items():
+        assert res.memory.get(base + w * 8, 0) == 2 * count

@@ -1,0 +1,62 @@
+"""Unit tests for the workload building blocks."""
+
+import pytest
+
+from repro.config import LINE_BYTES
+from repro.workloads.base import AddressSpace, Program, mem_get
+
+
+def test_regions_are_line_aligned_and_disjoint():
+    space = AddressSpace()
+    a = space.alloc("a", 3)
+    b = space.alloc("b", 5)
+    assert a % LINE_BYTES == 0 and b % LINE_BYTES == 0
+    assert b >= a + 3 * 8
+    # no overlap even at line granularity
+    assert (a >> 6) != (b >> 6) or 3 * 8 <= LINE_BYTES
+
+
+def test_duplicate_region_rejected():
+    space = AddressSpace()
+    space.alloc("x", 1)
+    with pytest.raises(ValueError):
+        space.alloc("x", 1)
+
+
+def test_padded_regions_one_word_per_line():
+    space = AddressSpace()
+    base = space.alloc("hot", 4, pad_lines=True)
+    addrs = [space.word(base, i, padded=True) for i in range(4)]
+    lines = {a >> 6 for a in addrs}
+    assert len(lines) == 4
+
+
+def test_word_addressing():
+    space = AddressSpace()
+    base = space.alloc("arr", 10)
+    assert space.word(base, 0) == base
+    assert space.word(base, 3) == base + 24
+
+
+def test_space_below_reserved_regions():
+    space = AddressSpace()
+    space.alloc("big", 1 << 20)
+    assert space._next < (1 << 40)  # stays clear of the redirect pool
+
+
+def test_program_verify_delegates():
+    hit = []
+    prog = Program("p", threads=[], verifier=lambda m: hit.append(m))
+    prog.verify({1: 2})
+    assert hit == [{1: 2}]
+    Program("q", threads=[]).verify({})  # no verifier: no-op
+
+
+def test_mem_get_defaults_zero():
+    assert mem_get({}, 123) == 0
+    assert mem_get({123: 7}, 123) == 7
+
+
+def test_n_threads():
+    prog = Program("p", threads=[lambda: iter(())] * 3)
+    assert prog.n_threads == 3
