@@ -8,8 +8,7 @@
 * conflict-signature size (false-conflict sensitivity).
 """
 
-from conftest import S, bench_config, emit
-from repro.config import HTMConfig, RedirectConfig, SignatureConfig
+from conftest import S, emit
 from repro.stats.report import format_table
 
 APP = "genome"
@@ -20,9 +19,8 @@ def test_ablation_redirect_back(benchmark, sim_cache):
 
     def run_all():
         for on in (True, False):
-            cfg = bench_config(redirect=RedirectConfig(redirect_back=on))
             results[on] = sim_cache.run(
-                APP, S, config=cfg, config_key=("redirect_back", on)
+                APP, S, overrides={"redirect.redirect_back": on}
             )
         return results
 
@@ -51,11 +49,8 @@ def test_ablation_summary_signature(benchmark, sim_cache):
 
     def run_all():
         for on in (True, False):
-            cfg = bench_config(
-                redirect=RedirectConfig(use_summary_signature=on)
-            )
             results[on] = sim_cache.run(
-                APP, S, config=cfg, config_key=("summary_sig", on)
+                APP, S, overrides={"redirect.use_summary_signature": on}
             )
         return results
 
@@ -85,12 +80,7 @@ def test_ablation_conflict_policy(benchmark, sim_cache):
 
     def run_all():
         for policy in ("stall", "abort_requester"):
-            cfg = bench_config(
-                htm=HTMConfig(policy=policy, start_stagger=512)
-            )
-            results[policy] = sim_cache.run(
-                APP, S, config=cfg, config_key=("policy", policy)
-            )
+            results[policy] = sim_cache.run(APP, S, policy=policy)
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -118,9 +108,8 @@ def test_ablation_signature_size(benchmark, sim_cache):
 
     def run_all():
         for bits in sizes:
-            cfg = bench_config(signature=SignatureConfig(bits=bits))
             results[bits] = sim_cache.run(
-                APP, S, config=cfg, config_key=("sig_bits", bits)
+                APP, S, overrides={"signature.bits": bits}
             )
         return results
 

@@ -14,9 +14,7 @@ def test_figure6_breakdown(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in WORKLOAD_NAMES:
-            for scheme in (L, F, S):
-                results[(app, scheme)] = sim_cache.run(app, scheme)
+        results.update(sim_cache.run_grid(WORKLOAD_NAMES, (L, F, S)))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -3,8 +3,7 @@ size — (a) L1-table miss rate, (b) total execution time — on the
 coarse-grained applications.  The paper finds a 512-entry table reaches
 a high hit rate and that scaling beyond 512 barely helps."""
 
-from conftest import S, bench_config, emit
-from repro.config import RedirectConfig
+from conftest import S, emit
 from repro.stats.report import format_table
 
 SIZES = (64, 128, 256, 512, 1024, 2048)
@@ -15,12 +14,7 @@ def test_figure7_l1_table_size(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in APPS:
-            for size in SIZES:
-                cfg = bench_config(redirect=RedirectConfig(l1_entries=size))
-                results[(app, size)] = sim_cache.run(
-                    app, S, config=cfg, config_key=("l1_entries", size)
-                )
+        results.update(sim_cache.run_sweep(APPS, S, "l1_entries", SIZES))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

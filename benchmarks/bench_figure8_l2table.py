@@ -3,8 +3,7 @@
 latency (paper: execution time rises sharply beyond 10 cycles, and a
 zero-latency L2 table would improve things by less than 5%)."""
 
-from conftest import S, bench_config, emit
-from repro.config import RedirectConfig
+from conftest import S, emit
 from repro.stats.report import format_table
 
 SIZES = (1024, 4096, 16384, 65536)
@@ -16,12 +15,7 @@ def test_figure8a_l2_table_size(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in APPS:
-            for size in SIZES:
-                cfg = bench_config(redirect=RedirectConfig(l2_entries=size))
-                results[(app, size)] = sim_cache.run(
-                    app, S, config=cfg, config_key=("l2_entries", size)
-                )
+        results.update(sim_cache.run_sweep(APPS, S, "l2_entries", SIZES))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
@@ -52,12 +46,9 @@ def test_figure8b_l2_table_latency(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in APPS:
-            for lat in LATENCIES:
-                cfg = bench_config(redirect=RedirectConfig(l2_latency=lat))
-                results[(app, lat)] = sim_cache.run(
-                    app, S, config=cfg, config_key=("l2_latency", lat)
-                )
+        results.update(
+            sim_cache.run_sweep(APPS, S, "l2_latency", LATENCIES)
+        )
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

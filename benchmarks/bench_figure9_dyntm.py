@@ -13,9 +13,7 @@ def test_figure9_dyntm(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in WORKLOAD_NAMES:
-            for scheme in (D, DS):
-                results[(app, scheme)] = sim_cache.run(app, scheme)
+        results.update(sim_cache.run_grid(WORKLOAD_NAMES, (D, DS)))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

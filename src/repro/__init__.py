@@ -10,19 +10,54 @@ Quickstart::
     program = make_workload("intruder", n_threads=16, seed=1)
     result = Simulator(SimConfig(), scheme="suv").run(program.threads)
     print(result.total_cycles, result.breakdown)
+
+Or, through the experiment-runner API (caching, matrices, process
+pools) without touching ``argparse`` or the simulator directly::
+
+    from repro import ExperimentSpec, RunMatrix, run_experiment, run_matrix
+
+    result = run_experiment(ExperimentSpec("intruder", scheme="suv"))
+    outcomes = run_matrix(
+        RunMatrix(workloads=("genome", "intruder"),
+                  schemes=("logtm-se", "suv")),
+        max_workers=4, cache=".repro-cache",
+    )
 """
 
 from repro.config import SimConfig, default_config
+from repro.htm.vm.base import available_schemes, register_scheme
+from repro.runner import (
+    ArtifactStore,
+    ExperimentSpec,
+    ResultCache,
+    RunMatrix,
+    RunOutcome,
+    Runner,
+    execute_spec,
+    run_experiment,
+    run_matrix,
+)
 from repro.simulator import SimResult, Simulator
 from repro.stats.breakdown import Breakdown
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArtifactStore",
     "Breakdown",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunMatrix",
+    "RunOutcome",
+    "Runner",
     "SimConfig",
     "SimResult",
     "Simulator",
+    "available_schemes",
     "default_config",
+    "execute_spec",
+    "register_scheme",
+    "run_experiment",
+    "run_matrix",
     "__version__",
 ]

@@ -7,43 +7,84 @@ Commands:
 * ``compare`` — run several schemes on one workload and print the
   Figure 6/9-style normalized comparison.
 * ``sweep`` — sweep one redirect-table parameter (Figure 7/8 style).
+* ``matrix`` — run a (workload × scheme × seed) matrix across worker
+  processes, with on-disk result caching.
 * ``hwcost`` — print the Table VII / Section V-C hardware-cost report.
 * ``list`` — list workloads and schemes.
+
+The commands are thin adapters over the :mod:`repro.runner` API:
+``argparse`` namespaces become :class:`~repro.runner.ExperimentSpec`
+values, which the library-level :func:`~repro.runner.run_experiment` /
+:func:`~repro.runner.run_matrix` execute.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
-from repro.config import HTMConfig, RedirectConfig, SimConfig
-from repro.simulator import SimResult, Simulator
+from repro.config import SimConfig
+from repro.htm.vm.base import available_schemes
+from repro.runner import (
+    ArtifactStore,
+    ExperimentSpec,
+    ResultCache,
+    RunMatrix,
+    Runner,
+    run_experiment,
+    run_matrix,
+)
+from repro.simulator import SimResult
 from repro.stats.report import format_breakdown_table, format_table
-from repro.workloads import WORKLOAD_NAMES, make_workload
+from repro.workloads import WORKLOAD_NAMES
 
-SCHEMES = ("logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv")
+SCHEMES = available_schemes()
+
+_WORKLOAD_CHOICES = WORKLOAD_NAMES + ("synthetic",)
 
 
-def _build_config(args: argparse.Namespace, **redirect_overrides) -> SimConfig:
-    redirect = RedirectConfig(**redirect_overrides)
-    return SimConfig(
-        n_cores=args.cores,
-        htm=HTMConfig(policy=args.policy, start_stagger=args.stagger),
-        redirect=redirect,
+def _spec_from_args(
+    args: argparse.Namespace, scheme: str, **config_overrides
+) -> ExperimentSpec:
+    """The experiment an ``argparse`` namespace describes."""
+    return ExperimentSpec(
+        workload=args.workload,
+        scheme=scheme,
+        scale=args.scale,
+        seed=args.seed,
+        cores=args.cores,
+        threads=args.threads,
+        policy=args.policy,
+        stagger=args.stagger,
+        verify=not args.no_verify,
+        config_overrides=config_overrides,
     )
 
 
-def _run_one(args: argparse.Namespace, scheme: str,
-             config: SimConfig | None = None) -> SimResult:
-    cfg = config or _build_config(args)
-    n_threads = args.threads or cfg.n_cores
-    program = make_workload(args.workload, n_threads=n_threads,
-                            seed=args.seed, scale=args.scale)
-    sim = Simulator(cfg, scheme=scheme, seed=args.seed)
-    result = sim.run(program.threads)
-    if not args.no_verify:
-        program.verify(result.memory)
-    return result
+def _build_config(args: argparse.Namespace, **redirect_overrides) -> SimConfig:
+    """Thin adapter kept for back-compat: the SimConfig of ``args``."""
+    overrides = {f"redirect.{k}": v for k, v in redirect_overrides.items()}
+    return _spec_from_args(args, "suv", **overrides).build_config()
+
+
+def _run_one(
+    args: argparse.Namespace, scheme: str, **config_overrides
+) -> SimResult:
+    """Thin adapter over :func:`run_experiment` for one CLI run."""
+    return run_experiment(_spec_from_args(args, scheme, **config_overrides))
+
+
+def _run_specs(args: argparse.Namespace, specs: list[ExperimentSpec]) -> list[SimResult]:
+    """Run CLI specs through the runner; exits non-zero on any failure."""
+    outcomes = run_matrix(specs, max_workers=getattr(args, "jobs", 1), retries=0)
+    failed = [out for out in outcomes if not out.ok]
+    if failed:
+        for out in failed:
+            print(f"error: {out.spec.label()}: {out.error}", file=sys.stderr)
+        raise SystemExit(1)
+    return [out.result for out in outcomes]
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -64,9 +105,9 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    results = {}
+    specs = [_spec_from_args(args, scheme) for scheme in args.schemes]
+    results = dict(zip(args.schemes, _run_specs(args, specs)))
     for scheme in args.schemes:
-        results[scheme] = _run_one(args, scheme)
         print(f"{scheme:10s} {results[scheme].total_cycles:>12,} cycles")
     print()
     print(format_breakdown_table(
@@ -77,21 +118,105 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: sweep stat columns by preference: the SUV redirect-table keys when the
+#: scheme reports them, otherwise the undo-log/cache counters every
+#: scheme carries — so a ``--scheme logtm-se`` sweep no longer prints
+#: misleading all-zero SUV columns.
+_SWEEP_TABLE_STATS = (
+    ("table_l1_miss_rate", "L1-table miss rate", lambda v: f"{v:.3f}"),
+    ("table_l2_overflows", "L2 ovf", lambda v: int(v)),
+)
+_SWEEP_GENERIC_STATS = (
+    ("log_writes", "log writes", lambda v: int(v)),
+    ("log_restores", "log restores", lambda v: int(v)),
+    ("cache_overflows", "cache ovf", lambda v: int(v)),
+)
+
+
+def _sweep_stat_columns(results: list[SimResult]):
+    present: set[str] = set()
+    for res in results:
+        present.update(res.scheme_stats)
+    columns = [c for c in _SWEEP_TABLE_STATS if c[0] in present]
+    return columns or [c for c in _SWEEP_GENERIC_STATS if c[0] in present]
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
-    rows = []
-    for value in args.values:
-        cfg = _build_config(args, **{args.parameter: value})
-        res = _run_one(args, args.scheme, config=cfg)
-        stats = res.scheme_stats
-        rows.append([value, res.total_cycles,
-                     f"{stats.get('table_l1_miss_rate', 0.0):.3f}",
-                     int(stats.get("table_l2_overflows", 0))])
+    specs = [
+        _spec_from_args(args, args.scheme,
+                        **{f"redirect.{args.parameter}": value})
+        for value in args.values
+    ]
+    results = _run_specs(args, specs)
+    columns = _sweep_stat_columns(results)
+    rows = [
+        [value, res.total_cycles,
+         *(fmt(res.scheme_stats.get(key, 0.0)) for key, _, fmt in columns)]
+        for value, res in zip(args.values, results)
+    ]
     print(format_table(
-        [args.parameter, "exec cycles", "L1-table miss rate", "L2 ovf"],
+        [args.parameter, "exec cycles", *(header for _, header, _ in columns)],
         rows,
         title=f"{args.workload} / {args.scheme} — sweep of {args.parameter}",
     ))
     return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    matrix = RunMatrix(
+        workloads=tuple(args.workloads),
+        schemes=tuple(args.schemes),
+        scales=(args.scale,),
+        seeds=tuple(args.seeds),
+        cores=(args.cores,),
+        threads=(args.threads,),
+        policies=(args.policy,),
+        staggers=(args.stagger,),
+        verify=not args.no_verify,
+    )
+    specs = matrix.specs()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    runner = Runner(
+        max_workers=args.jobs or None,
+        cache=cache,
+        timeout=args.timeout,
+        retries=args.retries,
+        artifacts=ArtifactStore(args.artifacts) if args.artifacts else None,
+        progress=not args.quiet,
+    )
+    started = time.monotonic()
+    outcomes = runner.run(specs)
+    elapsed = time.monotonic() - started
+
+    rows = []
+    for out in outcomes:
+        res = out.result
+        rows.append([
+            out.spec.workload, out.spec.scheme, out.spec.seed,
+            f"{res.total_cycles:,}" if res else "-",
+            res.commits if res else "-",
+            res.aborts if res else "-",
+            f"{res.abort_ratio:.1%}" if res else "-",
+            "cache" if out.cached else
+            (f"{out.duration_s:.1f}s" if out.ok else "FAILED"),
+        ])
+    print(format_table(
+        ["workload", "scheme", "seed", "cycles", "commits", "aborts",
+         "abort%", "source"],
+        rows,
+        title=f"matrix — {len(specs)} specs at scale {args.scale}, "
+              f"{args.cores} cores",
+    ))
+    hits = sum(1 for out in outcomes if out.cached)
+    failed = [out for out in outcomes if not out.ok]
+    print()
+    print(f"{len(specs)} specs | {len(specs) - len(failed)} ok, "
+          f"{len(failed)} failed | cache hits {hits}/{len(specs)} "
+          f"({hits / len(specs):.0%}) | workers={runner.max_workers} | "
+          f"{elapsed:.1f}s")
+    for out in failed:
+        print(f"FAILED {out.spec.label()}: {out.error}")
+    return 1 if failed else 0
 
 
 def cmd_hwcost(args: argparse.Namespace) -> int:
@@ -118,7 +243,7 @@ def cmd_hwcost(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("workloads:", ", ".join(WORKLOAD_NAMES + ("synthetic",)))
+    print("workloads:", ", ".join(_WORKLOAD_CHOICES))
     print("schemes  :", ", ".join(SCHEMES))
     print("scales   : tiny, small, full")
     return 0
@@ -139,6 +264,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="skip the workload's functional verifier")
 
 
+def _add_jobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = in-process serial)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -147,27 +277,64 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("run", help="run one workload under one scheme")
-    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("workload", choices=_WORKLOAD_CHOICES)
     p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
     p.add_argument("--stats", action="store_true")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("compare", help="compare schemes on one workload")
-    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("workload", choices=_WORKLOAD_CHOICES)
     p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
                    choices=SCHEMES)
     _add_common(p)
+    _add_jobs(p)
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("sweep", help="sweep a redirect-table parameter")
-    p.add_argument("workload", choices=WORKLOAD_NAMES + ("synthetic",))
+    p.add_argument("workload", choices=_WORKLOAD_CHOICES)
     p.add_argument("parameter",
                    choices=("l1_entries", "l2_entries", "l2_latency"))
     p.add_argument("values", type=int, nargs="+")
     p.add_argument("--scheme", default="suv", choices=SCHEMES)
     _add_common(p)
+    _add_jobs(p)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "matrix",
+        help="run a workload×scheme×seed matrix in parallel, with caching",
+    )
+    p.add_argument("--workloads", nargs="+", default=["ssca2", "intruder",
+                                                      "kmeans", "vacation"],
+                   choices=_WORKLOAD_CHOICES)
+    p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
+                   choices=SCHEMES)
+    p.add_argument("--seeds", type=int, nargs="+", default=[3])
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="tiny")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--threads", type=int, default=0)
+    p.add_argument("--policy",
+                   choices=("stall", "abort_requester", "abort_responder"),
+                   default="stall")
+    p.add_argument("--stagger", type=int, default=512)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = auto, at least 2)")
+    p.add_argument("--cache-dir",
+                   default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute everything, touch no cache")
+    p.add_argument("--timeout", type=float, default=900.0,
+                   help="per-run timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="crash/timeout retries per spec (fresh seed offset)")
+    p.add_argument("--artifacts", metavar="PATH",
+                   help="append one JSONL record per run to PATH")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress lines")
+    p.set_defaults(fn=cmd_matrix)
 
     p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
     p.set_defaults(fn=cmd_hwcost)

@@ -14,12 +14,20 @@
   SUV = the paper's DynTM+SUV).
 """
 
-from repro.htm.vm.base import VersionManager, make_version_manager
-from repro.htm.vm.dyntm import DynTM
-from repro.htm.vm.fastm import FasTM
-from repro.htm.vm.lazy import LazyVM
+from repro.htm.vm.base import (
+    VersionManager,
+    available_schemes,
+    make_version_manager,
+    register_scheme,
+)
+
+# scheme modules in registration (= listing) order: baseline first,
+# the paper's contribution third, matching the figures
 from repro.htm.vm.logtm_se import LogTMSE
+from repro.htm.vm.fastm import FasTM
 from repro.htm.vm.suv import SUV
+from repro.htm.vm.lazy import LazyVM
+from repro.htm.vm.dyntm import DynTM
 
 __all__ = [
     "DynTM",
@@ -28,5 +36,7 @@ __all__ = [
     "LogTMSE",
     "SUV",
     "VersionManager",
+    "available_schemes",
     "make_version_manager",
+    "register_scheme",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
@@ -189,31 +190,86 @@ class VersionManager(ABC):
         return self.stats.as_dict()
 
 
+# ======================================================================
+# scheme registry
+# ======================================================================
+
+#: a factory building one VersionManager for a (config, hierarchy) pair —
+#: either a VersionManager subclass or a plain function
+SchemeFactory = Callable[[SimConfig, MemoryHierarchy], VersionManager]
+
+#: canonical name -> factory, in registration order (drives CLI listings)
+_SCHEME_REGISTRY: dict[str, SchemeFactory] = {}
+#: normalized alias -> canonical name
+_SCHEME_ALIASES: dict[str, str] = {}
+
+
+def _normalize_scheme_name(name: str) -> str:
+    return name.lower().replace("_", "-")
+
+
+def register_scheme(name: str, *aliases: str):
+    """Class/function decorator adding a scheme to the registry.
+
+    ``@register_scheme("suv")`` on a :class:`VersionManager` subclass (or
+    on a ``(config, hierarchy) -> VersionManager`` factory) makes
+    ``make_version_manager("suv", ...)`` build it and lists it in
+    :func:`available_schemes`.  Extra ``aliases`` resolve to the same
+    factory but are not listed.
+    """
+
+    def decorate(factory: SchemeFactory) -> SchemeFactory:
+        canonical = _normalize_scheme_name(name)
+        if canonical in _SCHEME_REGISTRY:
+            raise ValueError(f"scheme {canonical!r} is already registered")
+        _SCHEME_REGISTRY[canonical] = factory
+        for alias in (name, *aliases):
+            key = _normalize_scheme_name(alias)
+            existing = _SCHEME_ALIASES.get(key)
+            if existing is not None and existing != canonical:
+                raise ValueError(
+                    f"alias {key!r} already points at scheme {existing!r}"
+                )
+            _SCHEME_ALIASES[key] = canonical
+        return factory
+
+    return decorate
+
+
+def _ensure_builtin_schemes() -> None:
+    """Import the bundled scheme modules so their decorators have run.
+
+    The import order fixes the registration (and therefore listing)
+    order: baseline first, the paper's contribution third, as in the
+    figures.
+    """
+    import repro.htm.vm.logtm_se  # noqa: F401
+    import repro.htm.vm.fastm  # noqa: F401
+    import repro.htm.vm.suv  # noqa: F401
+    import repro.htm.vm.lazy  # noqa: F401
+    import repro.htm.vm.dyntm  # noqa: F401
+
+
+def available_schemes() -> tuple[str, ...]:
+    """Canonical names of every registered scheme, in registration order."""
+    _ensure_builtin_schemes()
+    return tuple(_SCHEME_REGISTRY)
+
+
 def make_version_manager(
     name: str, config: SimConfig, hierarchy: MemoryHierarchy
 ) -> VersionManager:
-    """Factory by scheme name.
+    """Factory by registered scheme name.
 
-    Recognized names: ``logtm-se``, ``fastm``, ``suv``, ``lazy``,
-    ``dyntm`` (original, FasTM-based) and ``dyntm+suv``.
+    Bundled names: ``logtm-se``, ``fastm``, ``suv``, ``lazy``,
+    ``dyntm`` (original, FasTM-based) and ``dyntm+suv``; more can be
+    added with :func:`register_scheme`.
     """
-    from repro.htm.vm.dyntm import DynTM
-    from repro.htm.vm.fastm import FasTM
-    from repro.htm.vm.lazy import LazyVM
-    from repro.htm.vm.logtm_se import LogTMSE
-    from repro.htm.vm.suv import SUV
-
-    key = name.lower().replace("_", "-")
-    if key in ("logtm-se", "logtmse", "logtm"):
-        return LogTMSE(config, hierarchy)
-    if key == "fastm":
-        return FasTM(config, hierarchy)
-    if key == "suv":
-        return SUV(config, hierarchy)
-    if key == "lazy":
-        return LazyVM(config, hierarchy)
-    if key == "dyntm":
-        return DynTM(config, hierarchy, eager_vm="fastm")
-    if key in ("dyntm+suv", "dyntm-suv"):
-        return DynTM(config, hierarchy, eager_vm="suv")
-    raise ValueError(f"unknown version-management scheme {name!r}")
+    _ensure_builtin_schemes()
+    canonical = _SCHEME_ALIASES.get(_normalize_scheme_name(name))
+    if canonical is None:
+        raise ValueError(
+            f"unknown version-management scheme {name!r}; "
+            f"registered: {', '.join(available_schemes())}"
+        )
+    return _SCHEME_REGISTRY[canonical](config, hierarchy)

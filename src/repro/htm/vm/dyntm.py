@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
-from repro.htm.vm.base import VersionManager
+from repro.htm.vm.base import VersionManager, register_scheme
 from repro.htm.vm.fastm import FasTM
 from repro.htm.vm.lazy import LazyVM
 from repro.htm.vm.suv import SUV
@@ -126,3 +126,15 @@ class DynTM(VersionManager):
         out.update({f"eager_{k}": v for k, v in self.eager.scheme_stats().items()})
         out.update({f"lazy_{k}": v for k, v in self.lazy.scheme_stats().items()})
         return out
+
+
+@register_scheme("dyntm")
+def _make_dyntm(config: SimConfig, hierarchy: MemoryHierarchy) -> DynTM:
+    """The original DynTM: FasTM-based eager version management."""
+    return DynTM(config, hierarchy, eager_vm="fastm")
+
+
+@register_scheme("dyntm+suv", "dyntm-suv")
+def _make_dyntm_suv(config: SimConfig, hierarchy: MemoryHierarchy) -> DynTM:
+    """The paper's DynTM+SUV: SUV as DynTM's version-management scheme."""
+    return DynTM(config, hierarchy, eager_vm="suv")

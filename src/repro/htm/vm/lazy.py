@@ -21,10 +21,11 @@ from __future__ import annotations
 
 from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
-from repro.htm.vm.base import VersionManager
+from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
 
 
+@register_scheme("lazy")
 class LazyVM(VersionManager):
     """Redo-in-L1 lazy version manager (DynTM's lazy mode)."""
 

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
-from repro.htm.vm.base import VersionManager
+from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import MemoryHierarchy
 
 
+@register_scheme("logtm-se", "logtmse", "logtm")
 class LogTMSE(VersionManager):
     """Undo-log eager VM (LogTM-SE, Yen et al. HPCA'07)."""
 

@@ -30,10 +30,11 @@ from repro.core.redirect_entry import EntryState, RedirectEntry
 from repro.core.redirect_table import RedirectTable
 from repro.core.summary import RedirectSummaryFilter
 from repro.htm.transaction import TxFrame
-from repro.htm.vm.base import VersionManager
+from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import MemoryHierarchy
 
 
+@register_scheme("suv")
 class SUV(VersionManager):
     """The single-update version manager (SUV-TM, eager mode)."""
 

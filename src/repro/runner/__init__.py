@@ -1,0 +1,44 @@
+"""Parallel experiment-runner subsystem.
+
+The orchestration layer every figure/table of the paper sits on: a
+frozen, hashable :class:`ExperimentSpec` describing one run,
+:class:`RunMatrix` expansion of (workload × scheme × config × seed)
+grids, a :class:`Runner` fanning specs out across worker processes with
+timeouts/retries/serial fallback, a content-hashed on-disk
+:class:`ResultCache` making repeated sweeps near-free, and a JSONL
+:class:`ArtifactStore` for external tooling.
+
+Typical use::
+
+    from repro.runner import ExperimentSpec, RunMatrix, run_matrix
+
+    matrix = RunMatrix(workloads=("genome", "intruder"),
+                       schemes=("logtm-se", "fastm", "suv"),
+                       seeds=(1, 2, 3))
+    outcomes = run_matrix(matrix, max_workers=4, cache=".repro-cache")
+    for out in outcomes:
+        print(out.spec.label(), out.result.total_cycles)
+"""
+
+from repro.runner.artifacts import ArtifactStore
+from repro.runner.cache import ResultCache
+from repro.runner.executor import (
+    Runner,
+    RunOutcome,
+    execute_spec,
+    run_experiment,
+    run_matrix,
+)
+from repro.runner.spec import ExperimentSpec, RunMatrix
+
+__all__ = [
+    "ArtifactStore",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunMatrix",
+    "RunOutcome",
+    "Runner",
+    "execute_spec",
+    "run_experiment",
+    "run_matrix",
+]

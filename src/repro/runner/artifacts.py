@@ -1,0 +1,53 @@
+"""Append-only JSONL artifact store for run outcomes.
+
+One JSON object per line, built on :mod:`repro.stats.export` for the
+result payload, so external tooling (plot scripts, dashboards) can
+stream-parse a sweep's history without loading it whole.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.runner.spec import ExperimentSpec
+from repro.simulator import SimResult
+from repro.stats.export import result_to_dict
+
+
+class ArtifactStore:
+    """A JSONL file of per-run records (spec, outcome, result summary)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def append(
+        self,
+        spec: ExperimentSpec,
+        result: SimResult | None,
+        *,
+        cached: bool = False,
+        attempts: int = 1,
+        duration_s: float = 0.0,
+        error: str | None = None,
+    ) -> None:
+        record = {
+            "spec_hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+            "cached": cached,
+            "attempts": attempts,
+            "duration_s": round(duration_s, 6),
+            "error": error,
+            "result": result_to_dict(result) if result is not None else None,
+        }
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def load(self) -> list[dict]:
+        """Every record in append order (empty if the file is absent)."""
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return []
+        return [json.loads(line) for line in text.splitlines() if line.strip()]

@@ -1,0 +1,89 @@
+"""Content-hashed on-disk result cache.
+
+Layout: one ``<spec_hash>.json`` file per cached run under the cache
+root, holding ``{"spec": ..., "result": ...}`` — the spec dict for
+human inspection, the result dict for :meth:`SimResult.from_dict`.
+Writes are atomic (temp file + rename) so a crashed run never leaves a
+half-written entry; unreadable entries are treated as misses and
+removed.  Simulations are deterministic in their spec, so a hit is
+byte-for-byte the result a fresh run would produce.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.runner.spec import ExperimentSpec
+from repro.simulator import SimResult
+
+
+class ResultCache:
+    """Spec-hash-keyed store of :class:`SimResult` JSON files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec: ExperimentSpec) -> Path:
+        return self.root / f"{spec.spec_hash()}.json"
+
+    def get(self, spec: ExperimentSpec) -> SimResult | None:
+        """The cached result for ``spec``, or None on a miss."""
+        path = self.path_for(spec)
+        try:
+            data = json.loads(path.read_text())
+            result = SimResult.from_dict(data["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
+            # corrupt or stale-format entry: drop it and recompute
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: ExperimentSpec, result: SimResult) -> Path:
+        """Store ``result`` under ``spec``'s hash; returns the file path."""
+        path = self.path_for(spec)
+        payload = json.dumps(
+            {"spec": spec.to_dict(), "result": result.to_dict()},
+            sort_keys=True,
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def __contains__(self, spec: ExperimentSpec) -> bool:
+        return self.path_for(spec).exists()
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}

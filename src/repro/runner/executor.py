@@ -1,0 +1,349 @@
+"""Concurrent experiment execution.
+
+:class:`Runner` executes :class:`~repro.runner.spec.ExperimentSpec`
+lists with a ``ProcessPoolExecutor``: per-run timeouts, bounded retry
+with a fresh seed offset on crash, and graceful degradation to
+in-process serial execution when process pools are unavailable (or
+break mid-run).  Results cross the process boundary as
+:meth:`SimResult.to_json` strings, the same representation the on-disk
+cache uses, so parallel and serial execution are observationally
+identical.
+
+The module-level conveniences are the stable public API surface:
+
+* :func:`execute_spec` — run one spec in-process, no pooling/caching;
+* :func:`run_experiment` — one spec through the (optional) cache;
+* :func:`run_matrix` — many specs (or a :class:`RunMatrix`) through a
+  :class:`Runner`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.runner.artifacts import ArtifactStore
+from repro.runner.cache import ResultCache
+from repro.runner.spec import ExperimentSpec, RunMatrix
+from repro.simulator import SimResult, Simulator
+
+
+def execute_spec(spec: ExperimentSpec) -> SimResult:
+    """Build and run the simulation a spec describes, in-process."""
+    from repro.workloads import make_workload
+
+    config = spec.build_config()
+    n_threads = spec.threads or config.n_cores
+    program = make_workload(
+        spec.workload,
+        n_threads=n_threads,
+        seed=spec.seed,
+        scale=spec.scale,
+        **dict(spec.workload_kwargs),
+    )
+    sim = Simulator(config, scheme=spec.scheme, seed=spec.seed)
+    result = sim.run(program.threads, max_events=spec.max_events)
+    if spec.verify:
+        program.verify(result.memory)
+    return result
+
+
+def _json_worker(spec: ExperimentSpec) -> str:
+    """Default pool worker: run the spec, return the result as JSON."""
+    return execute_spec(spec).to_json()
+
+
+def _coerce_result(payload: Any) -> SimResult:
+    if isinstance(payload, SimResult):
+        return payload
+    if isinstance(payload, str):
+        return SimResult.from_json(payload)
+    raise TypeError(
+        f"worker returned {type(payload).__name__}, "
+        "expected SimResult or its JSON"
+    )
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one spec: a result, a cache hit, or an error."""
+
+    spec: ExperimentSpec
+    result: SimResult | None = None
+    cached: bool = False
+    attempts: int = 0
+    duration_s: float = 0.0
+    error: str | None = None
+    #: the spec actually executed — differs from ``spec`` only when a
+    #: crash retry re-ran with an offset seed
+    executed_spec: ExperimentSpec | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+class Runner:
+    """Executes spec lists concurrently, with caching and retries.
+
+    Parameters:
+
+    * ``max_workers`` — worker processes; ``None`` = auto (at least 2),
+      ``1`` or fewer = in-process serial execution.
+    * ``cache`` — a :class:`ResultCache` (or its root path) consulted
+      before running and updated after; ``None`` disables caching.
+    * ``timeout`` — per-run wall-clock budget in seconds (pool mode
+      only; serial runs cannot be preempted).
+    * ``retries`` — how many times a crashed or timed-out run is
+      retried; each retry offsets the seed by ``retry_seed_offset`` so
+      a deterministic crash isn't replayed verbatim.
+    * ``artifacts`` — an :class:`ArtifactStore` (or path) appended to
+      after every outcome.
+    * ``progress`` — ``True`` for per-run progress/ETA lines on stderr,
+      or a callable receiving each line.
+    * ``worker`` — the pool task (a picklable
+      ``spec -> SimResult | json-str``); replaceable for testing.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: ResultCache | str | Path | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        retry_seed_offset: int = 100_003,
+        artifacts: ArtifactStore | str | Path | None = None,
+        progress: bool | Callable[[str], None] = False,
+        worker: Callable[[ExperimentSpec], Any] | None = None,
+    ) -> None:
+        if max_workers is None:
+            max_workers = max(2, min(4, os.cpu_count() or 2))
+        self.max_workers = max_workers
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.retry_seed_offset = retry_seed_offset
+        if isinstance(artifacts, (str, Path)):
+            artifacts = ArtifactStore(artifacts)
+        self.artifacts = artifacts
+        self.progress = progress
+        self._worker = worker
+        #: times the runner degraded to serial execution (pool failure)
+        self.serial_fallbacks = 0
+
+    # -- public entry points --------------------------------------------
+    def run(
+        self, specs: Iterable[ExperimentSpec] | RunMatrix
+    ) -> list[RunOutcome]:
+        """Execute every spec; outcomes are in spec order."""
+        spec_list = specs.specs() if isinstance(specs, RunMatrix) else list(specs)
+        outcomes: list[RunOutcome | None] = [None] * len(spec_list)
+        self._done_count = 0
+        self._total = len(spec_list)
+        self._t0 = time.monotonic()
+
+        pending: list[int] = []
+        for i, spec in enumerate(spec_list):
+            hit = self.cache.get(spec) if self.cache is not None else None
+            if hit is not None:
+                outcomes[i] = RunOutcome(spec, hit, cached=True)
+                self._finish(outcomes[i])
+            else:
+                pending.append(i)
+
+        if pending:
+            if self.max_workers >= 2 and len(pending) > 1:
+                leftover = self._run_pool(spec_list, pending, outcomes)
+            else:
+                leftover = pending
+            for i in leftover:
+                outcomes[i] = self._run_serial(spec_list[i])
+                self._finish(outcomes[i])
+        return outcomes  # type: ignore[return-value]
+
+    def run_one(self, spec: ExperimentSpec) -> RunOutcome:
+        """Execute a single spec serially (cache consulted as usual)."""
+        return self.run([spec])[0]
+
+    # -- pool path -------------------------------------------------------
+    def _make_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.max_workers, n_tasks))
+
+    def _run_pool(
+        self,
+        specs: Sequence[ExperimentSpec],
+        pending: list[int],
+        outcomes: list[RunOutcome | None],
+    ) -> list[int]:
+        """Run ``pending`` indices in a process pool.
+
+        Returns the indices left unfinished when the pool could not be
+        created or broke mid-run — the caller finishes those serially.
+        """
+        worker = self._worker or _json_worker
+        try:
+            pool = self._make_pool(len(pending))
+        except (OSError, NotImplementedError, PermissionError):
+            self.serial_fallbacks += 1
+            return pending
+        try:
+            tasks = {
+                i: (pool.submit(worker, specs[i]), 1, specs[i])
+                for i in pending
+            }
+            for i in pending:
+                while outcomes[i] is None:
+                    future, attempt, run_spec = tasks[i]
+                    start = time.monotonic()
+                    try:
+                        result = _coerce_result(future.result(self.timeout))
+                        outcomes[i] = RunOutcome(
+                            specs[i],
+                            result,
+                            attempts=attempt,
+                            duration_s=time.monotonic() - start,
+                            executed_spec=run_spec,
+                        )
+                        self._finish(outcomes[i])
+                        break
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        error = f"timed out after {self.timeout}s"
+                    except BrokenProcessPool:
+                        self.serial_fallbacks += 1
+                        return [j for j in pending if outcomes[j] is None]
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                    if attempt > self.retries:
+                        outcomes[i] = RunOutcome(
+                            specs[i], attempts=attempt, error=error
+                        )
+                        self._finish(outcomes[i])
+                        break
+                    retry_spec = self._retry_spec(specs[i], attempt)
+                    try:
+                        tasks[i] = (
+                            pool.submit(worker, retry_spec),
+                            attempt + 1,
+                            retry_spec,
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        self.serial_fallbacks += 1
+                        return [j for j in pending if outcomes[j] is None]
+            return []
+        finally:
+            # don't block on tasks abandoned by a timeout
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- serial path -----------------------------------------------------
+    def _run_serial(self, spec: ExperimentSpec) -> RunOutcome:
+        error = "not attempted"
+        for attempt in range(1, self.retries + 2):
+            run_spec = spec if attempt == 1 else self._retry_spec(spec, attempt - 1)
+            start = time.monotonic()
+            try:
+                if self._worker is None:
+                    result = execute_spec(run_spec)
+                else:
+                    result = _coerce_result(self._worker(run_spec))
+                return RunOutcome(
+                    spec,
+                    result,
+                    attempts=attempt,
+                    duration_s=time.monotonic() - start,
+                    executed_spec=run_spec,
+                )
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        return RunOutcome(spec, attempts=self.retries + 1, error=error)
+
+    # -- shared plumbing -------------------------------------------------
+    def _retry_spec(self, spec: ExperimentSpec, attempt: int) -> ExperimentSpec:
+        return spec.with_(seed=spec.seed + attempt * self.retry_seed_offset)
+
+    def _finish(self, outcome: RunOutcome) -> None:
+        self._done_count += 1
+        if outcome.ok and not outcome.cached and self.cache is not None:
+            # cache under the spec that actually ran (honest on retries)
+            self.cache.put(outcome.executed_spec or outcome.spec, outcome.result)
+        if self.artifacts is not None:
+            self.artifacts.append(
+                outcome.spec,
+                outcome.result,
+                cached=outcome.cached,
+                attempts=outcome.attempts,
+                duration_s=outcome.duration_s,
+                error=outcome.error,
+            )
+        self._report(outcome)
+
+    def _report(self, outcome: RunOutcome) -> None:
+        if not self.progress:
+            return
+        done, total = self._done_count, self._total
+        if outcome.cached:
+            status = "cache hit"
+        elif outcome.ok:
+            status = (
+                f"{outcome.result.total_cycles:,} cycles "
+                f"({outcome.duration_s:.1f}s)"
+            )
+        else:
+            status = f"FAILED: {outcome.error}"
+        elapsed = time.monotonic() - self._t0
+        eta = elapsed / done * (total - done) if done else 0.0
+        line = (
+            f"[{done:>{len(str(total))}}/{total}] "
+            f"{outcome.spec.label()}: {status} | ETA {eta:.0f}s"
+        )
+        if callable(self.progress):
+            self.progress(line)
+        else:
+            print(line, file=sys.stderr)
+
+
+def run_experiment(
+    spec: ExperimentSpec | str | None = None,
+    *,
+    cache: ResultCache | str | Path | None = None,
+    **spec_kwargs: Any,
+) -> SimResult:
+    """Run one experiment, optionally through a result cache.
+
+    Accepts a ready :class:`ExperimentSpec`, or a workload name plus
+    spec keyword arguments::
+
+        run_experiment("genome", scheme="suv", seed=7)
+    """
+    if isinstance(spec, str):
+        spec = ExperimentSpec(workload=spec, **spec_kwargs)
+    elif spec is None:
+        spec = ExperimentSpec(**spec_kwargs)
+    elif spec_kwargs:
+        raise TypeError("pass either a spec or spec keyword arguments, not both")
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    if cache is not None:
+        hit = cache.get(spec)
+        if hit is not None:
+            return hit
+    result = execute_spec(spec)
+    if cache is not None:
+        cache.put(spec, result)
+    return result
+
+
+def run_matrix(
+    specs: Iterable[ExperimentSpec] | RunMatrix, **runner_kwargs: Any
+) -> list[RunOutcome]:
+    """Run a matrix (or any iterable of specs) through a :class:`Runner`."""
+    return Runner(**runner_kwargs).run(specs)

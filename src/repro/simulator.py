@@ -32,6 +32,7 @@ Key behaviours reproduced from the paper's evaluation methodology:
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
@@ -165,6 +166,55 @@ class SimResult:
     def speedup_over(self, other: "SimResult") -> float:
         """How much faster this run is than ``other`` (>1 = faster)."""
         return other.total_cycles / self.total_cycles
+
+    # -- serialization (result cache + process-pool boundary) -----------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serializable dict losslessly describing this result."""
+        return {
+            "scheme": self.scheme,
+            "total_cycles": self.total_cycles,
+            "breakdown": self.breakdown.as_dict(),
+            "per_core": [dict(comp) for comp in self.per_core],
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "tx_attempts": self.tx_attempts,
+            "scheme_stats": {k: float(v) for k, v in self.scheme_stats.items()},
+            "memory": {str(addr): val for addr, val in self.memory.items()},
+            "events_executed": self.events_executed,
+            "n_threads": self.n_threads,
+            "context_switches": self.context_switches,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            scheme=data["scheme"],
+            total_cycles=int(data["total_cycles"]),
+            breakdown=Breakdown.from_dict(data["breakdown"]),
+            per_core=[
+                {k: int(v) for k, v in comp.items()}
+                for comp in data["per_core"]
+            ],
+            commits=int(data["commits"]),
+            aborts=int(data["aborts"]),
+            tx_attempts=int(data["tx_attempts"]),
+            scheme_stats={
+                k: float(v) for k, v in data["scheme_stats"].items()
+            },
+            memory={int(addr): int(val) for addr, val in data["memory"].items()},
+            events_executed=int(data["events_executed"]),
+            n_threads=int(data.get("n_threads", 0)),
+            context_switches=int(data.get("context_switches", 0)),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to a JSON string; inverse of :meth:`from_json`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SimResult":
+        return cls.from_dict(json.loads(text))
 
 
 class Simulator:

@@ -70,6 +70,14 @@ class Breakdown:
     def as_dict(self) -> dict[str, int]:
         return dict(self.cycles)
 
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "Breakdown":
+        """Inverse of :meth:`as_dict` (rejects unknown components)."""
+        bd = cls()
+        for component, amount in data.items():
+            bd.add(component, int(amount))
+        return bd
+
     def __repr__(self) -> str:
         parts = ", ".join(f"{c}={v}" for c, v in self.cycles.items() if v)
         return f"Breakdown({parts or 'empty'})"

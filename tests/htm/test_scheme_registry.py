@@ -1,0 +1,52 @@
+"""Tests for the decorator-based version-manager registry."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.htm.vm import base
+from repro.htm.vm.base import (
+    available_schemes,
+    make_version_manager,
+    register_scheme,
+)
+
+
+def test_builtin_schemes_registered_in_canonical_order():
+    assert available_schemes() == (
+        "logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv"
+    )
+
+
+def test_aliases_resolve_to_canonical_scheme():
+    from repro.mem.hierarchy import MemoryHierarchy
+
+    config = SimConfig(n_cores=2)
+    hierarchy = MemoryHierarchy(config)
+    canonical = make_version_manager("logtm-se", config, hierarchy)
+    for alias in ("logtmse", "logtm", "LogTM-SE", "logtm_se"):
+        vm = make_version_manager(alias, config, hierarchy)
+        assert type(vm) is type(canonical)
+
+
+def test_unknown_scheme_lists_available():
+    with pytest.raises(ValueError, match="logtm-se"):
+        make_version_manager("nosuch", SimConfig(n_cores=2), None)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_scheme("suv")(lambda config, hierarchy: None)
+
+
+def test_custom_scheme_registration():
+    @register_scheme("test-null", "testnull")
+    def make_null(config, hierarchy):
+        return ("null-vm", config.n_cores)
+
+    try:
+        assert "test-null" in available_schemes()
+        vm = make_version_manager("testnull", SimConfig(n_cores=2), None)
+        assert vm == ("null-vm", 2)
+    finally:
+        base._SCHEME_REGISTRY.pop("test-null", None)
+        base._SCHEME_ALIASES.pop("testnull", None)

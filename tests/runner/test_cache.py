@@ -1,0 +1,40 @@
+"""Tests for the content-hashed on-disk result cache."""
+
+from repro.runner import ExperimentSpec, ResultCache
+from repro.runner.executor import execute_spec
+
+SPEC = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    result = execute_spec(SPEC)
+    cache.put(SPEC, result)
+    assert SPEC in cache
+    assert len(cache) == 1
+    hit = cache.get(SPEC)
+    assert hit is not None
+    assert hit.to_json() == result.to_json()
+    assert cache.hits == 1 and cache.misses == 0
+
+
+def test_miss_counted(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert cache.get(SPEC) is None
+    assert cache.misses == 1 and cache.hits == 0
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.path_for(SPEC).write_text("{not json")
+    assert cache.get(SPEC) is None
+    assert not cache.path_for(SPEC).exists()
+    assert cache.misses == 1
+
+
+def test_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(SPEC, execute_spec(SPEC))
+    cache.clear()
+    assert len(cache) == 0
+    assert SPEC not in cache

@@ -1,0 +1,140 @@
+"""Tests for the Runner: caching, timeout, retry, serial fallback."""
+
+import multiprocessing
+import os
+import time
+
+from repro.runner import ExperimentSpec, ResultCache, Runner
+from repro.runner.executor import execute_spec
+
+TINY = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
+
+
+# -- pool workers (module-level so they pickle) --------------------------
+def sleepy_worker(spec):
+    time.sleep(5)
+    return execute_spec(spec).to_json()
+
+
+def crashy_worker(spec):
+    # deterministic crash until the retry seed offset kicks in
+    if spec.seed < 1000:
+        raise RuntimeError("boom")
+    return execute_spec(spec).to_json()
+
+
+def pool_killing_worker(spec):
+    # dies abruptly in pool children, works fine in-process
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return execute_spec(spec).to_json()
+
+
+# -- serial execution -----------------------------------------------------
+def test_serial_run_matches_execute_spec():
+    outcome = Runner(max_workers=1, retries=0).run_one(TINY)
+    assert outcome.ok and not outcome.cached and outcome.attempts == 1
+    assert outcome.result.to_json() == execute_spec(TINY).to_json()
+
+
+def test_serial_failure_reported():
+    bad = TINY.with_(workload="ssca2", config_overrides={"nosuch.field": 1})
+    outcome = Runner(max_workers=1, retries=0).run_one(bad)
+    assert not outcome.ok
+    assert "ValueError" in outcome.error
+
+
+# -- caching --------------------------------------------------------------
+def test_cached_result_identical_to_fresh(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    runner = Runner(max_workers=1, cache=cache, retries=0)
+    fresh = runner.run_one(TINY)
+    hit = runner.run_one(TINY)
+    assert not fresh.cached and hit.cached
+    assert hit.result.to_json() == fresh.result.to_json()
+    assert cache.hits == 1
+
+
+def test_cache_shared_across_runners(tmp_path):
+    Runner(max_workers=1, cache=tmp_path / "c", retries=0).run_one(TINY)
+    outcome = Runner(max_workers=1, cache=tmp_path / "c", retries=0).run_one(TINY)
+    assert outcome.cached
+
+
+# -- pool path ------------------------------------------------------------
+def test_pool_runs_specs_in_order():
+    specs = [TINY.with_(seed=s) for s in (1, 2, 3)]
+    outcomes = Runner(max_workers=2, retries=0).run(specs)
+    assert [o.spec for o in outcomes] == specs
+    assert all(o.ok for o in outcomes)
+    # parallel (JSON round-tripped) results match in-process execution
+    assert outcomes[0].result.to_json() == execute_spec(specs[0]).to_json()
+
+
+def test_timeout_reported_as_error():
+    runner = Runner(
+        max_workers=2, timeout=0.2, retries=0, worker=sleepy_worker
+    )
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(not o.ok for o in outcomes)
+    assert all("timed out" in o.error for o in outcomes)
+
+
+def test_crash_retried_with_offset_seed():
+    runner = Runner(
+        max_workers=2, retries=1, retry_seed_offset=1000, worker=crashy_worker
+    )
+    outcomes = runner.run([TINY.with_(seed=3), TINY.with_(seed=4)])
+    for outcome in outcomes:
+        assert outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.executed_spec.seed == outcome.spec.seed + 1000
+
+
+def test_retries_exhausted_reports_error():
+    runner = Runner(
+        max_workers=2, retries=1, retry_seed_offset=1, worker=crashy_worker
+    )
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(not o.ok for o in outcomes)
+    assert all("boom" in o.error for o in outcomes)
+
+
+# -- graceful degradation to serial ---------------------------------------
+def test_broken_pool_falls_back_to_serial():
+    runner = Runner(max_workers=2, retries=0, worker=pool_killing_worker)
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(o.ok for o in outcomes)
+    assert runner.serial_fallbacks >= 1
+
+
+def test_pool_creation_failure_falls_back_to_serial(monkeypatch):
+    def no_pool(self, n_tasks):
+        raise OSError("no processes here")
+
+    monkeypatch.setattr(Runner, "_make_pool", no_pool)
+    runner = Runner(max_workers=2, retries=0)
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(o.ok for o in outcomes)
+    assert runner.serial_fallbacks == 1
+
+
+# -- artifacts & progress --------------------------------------------------
+def test_artifacts_written_per_outcome(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    runner = Runner(max_workers=1, retries=0, artifacts=path)
+    runner.run([TINY, TINY.with_(seed=4)])
+    from repro.runner import ArtifactStore
+
+    records = ArtifactStore(path).load()
+    assert len(records) == 2
+    assert records[0]["spec"]["workload"] == "ssca2"
+    assert records[0]["result"]["commits"] >= 0
+
+
+def test_progress_callable_sees_every_run():
+    lines = []
+    runner = Runner(max_workers=1, retries=0, progress=lines.append)
+    runner.run([TINY, TINY.with_(seed=4)])
+    assert len(lines) == 2
+    assert "[2/2]" in lines[1]

@@ -1,0 +1,105 @@
+"""Tests for ExperimentSpec and RunMatrix."""
+
+import pytest
+
+from repro.runner import ExperimentSpec, RunMatrix
+
+
+def test_spec_is_hashable_and_usable_as_dict_key():
+    a = ExperimentSpec("genome")
+    b = ExperimentSpec("genome")
+    assert a == b
+    assert {a: 1}[b] == 1
+
+
+def test_overrides_freeze_dict_and_tuple_equally():
+    via_dict = ExperimentSpec(
+        "genome", config_overrides={"redirect.l1_entries": 64, "l2.latency": 5}
+    )
+    via_tuple = ExperimentSpec(
+        "genome",
+        config_overrides=(("l2.latency", 5), ("redirect.l1_entries", 64)),
+    )
+    assert via_dict == via_tuple
+    assert via_dict.spec_hash() == via_tuple.spec_hash()
+
+
+def test_spec_hash_is_stable_and_seed_sensitive():
+    spec = ExperimentSpec("genome", scheme="suv", seed=3)
+    assert spec.spec_hash() == ExperimentSpec("genome", scheme="suv", seed=3).spec_hash()
+    assert spec.spec_hash() != spec.with_(seed=4).spec_hash()
+
+
+def test_non_scalar_override_rejected():
+    with pytest.raises(TypeError):
+        ExperimentSpec("genome", config_overrides={"redirect.l1_entries": [64]})
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(ValueError):
+        ExperimentSpec("genome", scale="enormous")
+
+
+def test_build_config_applies_overrides_and_knobs():
+    spec = ExperimentSpec(
+        "genome",
+        cores=8,
+        policy="abort_requester",
+        stagger=128,
+        config_overrides={"redirect.l1_entries": 64, "signature.bits": 256},
+    )
+    config = spec.build_config()
+    assert config.n_cores == 8
+    assert config.htm.policy == "abort_requester"
+    assert config.htm.start_stagger == 128
+    assert config.redirect.l1_entries == 64
+    assert config.signature.bits == 256
+
+
+def test_build_config_rejects_unknown_paths():
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            "genome", config_overrides={"nosuch.field": 1}
+        ).build_config()
+    with pytest.raises(ValueError):
+        ExperimentSpec(
+            "genome", config_overrides={"redirect.nosuch": 1}
+        ).build_config()
+
+
+def test_spec_dict_roundtrip():
+    spec = ExperimentSpec(
+        "genome",
+        scheme="fastm",
+        seed=9,
+        config_overrides={"redirect.l1_entries": 64},
+        workload_kwargs={"n_accounts": 32},
+    )
+    again = ExperimentSpec.from_dict(spec.to_dict())
+    assert again == spec
+    assert again.spec_hash() == spec.spec_hash()
+
+
+def test_matrix_expands_workload_major():
+    matrix = RunMatrix(
+        workloads=("genome", "intruder"),
+        schemes=("logtm-se", "suv"),
+        seeds=(1, 2),
+    )
+    specs = matrix.specs()
+    assert len(matrix) == len(specs) == 8
+    assert [s.workload for s in specs[:4]] == ["genome"] * 4
+    assert specs[0].scheme == "logtm-se" and specs[0].seed == 1
+    assert specs[1].seed == 2
+    assert specs[2].scheme == "suv"
+    assert len(set(specs)) == 8
+
+
+def test_matrix_propagates_run_knobs():
+    matrix = RunMatrix(
+        workloads=("genome",), verify=False, max_events=123, staggers=(7,)
+    )
+    (spec,) = matrix.specs()
+    assert spec.verify is False
+    assert spec.max_events == 123
+    assert spec.stagger == 7

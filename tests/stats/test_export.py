@@ -38,3 +38,19 @@ def test_memory_included_on_request():
 def test_stats_are_floats():
     d = result_to_dict(small_result())
     assert all(isinstance(v, float) for v in d["scheme_stats"].values())
+
+
+def test_simresult_json_roundtrip():
+    from repro.simulator import SimResult
+
+    res = small_result()
+    again = SimResult.from_json(res.to_json())
+    assert again.total_cycles == res.total_cycles
+    assert again.commits == res.commits and again.aborts == res.aborts
+    assert again.breakdown.as_dict() == res.breakdown.as_dict()
+    assert again.scheme_stats == {k: float(v)
+                                  for k, v in res.scheme_stats.items()}
+    assert again.memory == res.memory
+    assert again.per_core == res.per_core
+    # serialization is canonical: a round-trip is a fixed point
+    assert again.to_json() == SimResult.from_json(again.to_json()).to_json()

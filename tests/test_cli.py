@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import SCHEMES, build_parser, main
+from repro.htm.vm.base import available_schemes
 
 
 def test_list_command(capsys):
@@ -47,6 +48,40 @@ def test_sweep_command(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "sweep of l1_entries" in out
+
+
+def test_schemes_derived_from_registry():
+    assert SCHEMES == available_schemes()
+
+
+def test_sweep_emits_scheme_appropriate_stats(capsys):
+    rc = main(["sweep", "ssca2", "l1_entries", "64",
+               "--scale", "tiny", "--cores", "4", "--scheme", "logtm-se"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    # logtm-se has no redirect tables: no misleading SUV-only columns
+    assert "L1-table miss" not in out
+    assert "log writes" in out
+
+
+def test_matrix_command_caches_results(capsys, tmp_path):
+    argv = ["matrix", "--workloads", "ssca2", "synthetic",
+            "--schemes", "logtm-se", "suv", "--seeds", "1", "2",
+            "--scale", "tiny", "--cores", "4", "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--quiet"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "8 specs" in first and "cache hits 0/8" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "cache hits 8/8 (100%)" in second
+    # cached results reproduce the fresh ones exactly (the trailing
+    # column shows wall time vs "cache", so compare everything before it)
+    def stat_rows(text):
+        return [line.rsplit("|", 1)[0] for line in text.splitlines()
+                if line.count("|") > 2 and "cache hits" not in line]
+
+    assert stat_rows(first) == stat_rows(second)
 
 
 def test_unknown_workload_rejected():
