@@ -22,10 +22,38 @@ pools) without touching ``argparse`` or the simulator directly::
                   schemes=("logtm-se", "suv")),
         max_workers=4, cache=".repro-cache",
     )
+
+Robustness harness: every run can carry a deterministic fault plan and
+be checked by the atomicity oracle::
+
+    from repro import ExperimentSpec, run_experiment
+
+    result = run_experiment(
+        ExperimentSpec("genome", fault_plan="table-squeeze", check=True)
+    )
+    assert result.oracle["passed"]
 """
 
 from repro.config import SimConfig, default_config
+from repro.errors import (
+    BudgetExhausted,
+    DeadlockError,
+    InvariantViolation,
+    OracleViolation,
+    PoolExhausted,
+    ReproError,
+    SimulationError,
+    TransactionError,
+)
+from repro.faults import (
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    list_presets,
+    parse_plan,
+)
 from repro.htm.vm.base import available_schemes, register_scheme
+from repro.oracle import OracleRecorder, check_run
 from repro.runner import (
     ArtifactStore,
     ExperimentSpec,
@@ -40,22 +68,37 @@ from repro.runner import (
 from repro.simulator import SimResult, Simulator
 from repro.stats.breakdown import Breakdown
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArtifactStore",
     "Breakdown",
+    "BudgetExhausted",
+    "DeadlockError",
     "ExperimentSpec",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantViolation",
+    "OracleRecorder",
+    "OracleViolation",
+    "PoolExhausted",
+    "ReproError",
     "ResultCache",
     "RunMatrix",
     "RunOutcome",
     "Runner",
     "SimConfig",
     "SimResult",
+    "SimulationError",
     "Simulator",
+    "TransactionError",
     "available_schemes",
+    "check_run",
     "default_config",
     "execute_spec",
+    "list_presets",
+    "parse_plan",
     "register_scheme",
     "run_experiment",
     "run_matrix",

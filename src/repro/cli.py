@@ -9,8 +9,10 @@ Commands:
 * ``sweep`` — sweep one redirect-table parameter (Figure 7/8 style).
 * ``matrix`` — run a (workload × scheme × seed) matrix across worker
   processes, with on-disk result caching.
+* ``faults`` — run a fault-injection campaign (schemes × workloads ×
+  fault plans) with the atomicity oracle enabled on every run.
 * ``hwcost`` — print the Table VII / Section V-C hardware-cost report.
-* ``list`` — list workloads and schemes.
+* ``list`` — list workloads, schemes and fault-plan presets.
 
 The commands are thin adapters over the :mod:`repro.runner` API:
 ``argparse`` namespaces become :class:`~repro.runner.ExperimentSpec`
@@ -26,6 +28,7 @@ import sys
 import time
 
 from repro.config import SimConfig
+from repro.faults import list_presets
 from repro.htm.vm.base import available_schemes
 from repro.runner import (
     ArtifactStore,
@@ -60,6 +63,8 @@ def _spec_from_args(
         stagger=args.stagger,
         verify=not args.no_verify,
         config_overrides=config_overrides,
+        fault_plan=getattr(args, "fault_plan", "") or "",
+        check=getattr(args, "check", False),
     )
 
 
@@ -94,6 +99,14 @@ def cmd_run(args: argparse.Namespace) -> int:
           f"{res.aborts} aborts (ratio {res.abort_ratio:.1%}), "
           f"{res.n_threads} threads, "
           f"{res.context_switches} context switches")
+    if res.fault_trace:
+        hits = sum(1 for ev in res.fault_trace if ev.get("hit"))
+        print(f"faults: {len(res.fault_trace)} events injected "
+              f"({hits} hit)")
+    if res.oracle is not None:
+        print("oracle:", "PASSED" if res.oracle.get("passed") else "FAILED",
+              f"({res.oracle.get('reads_checked', 0)} reads checked, "
+              f"{res.oracle.get('entries', 0)} serial entries)")
     rows = [(k, v, f"{res.breakdown.fraction(k):.1%}")
             for k, v in res.breakdown.as_dict().items()]
     print(format_table(["component", "cycles", "share"], rows))
@@ -172,7 +185,9 @@ def cmd_matrix(args: argparse.Namespace) -> int:
         threads=(args.threads,),
         policies=(args.policy,),
         staggers=(args.stagger,),
+        fault_plans=tuple(getattr(args, "fault_plans", None) or ("",)),
         verify=not args.no_verify,
+        check=getattr(args, "check", False),
     )
     specs = matrix.specs()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -219,6 +234,66 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """A fault-injection campaign with the oracle armed on every run.
+
+    Crosses schemes × workloads × fault plans (always including the
+    fault-free baseline) and prints one row per run: cycles, aborts,
+    injected fault events, and the oracle verdict.  Exits non-zero if
+    any run fails its oracle or crashes.
+    """
+    plans = ("",) + tuple(args.plans)
+    matrix = RunMatrix(
+        workloads=tuple(args.workloads),
+        schemes=tuple(args.schemes),
+        scales=(args.scale,),
+        seeds=(args.seed,),
+        cores=(args.cores,),
+        threads=(args.threads,),
+        policies=(args.policy,),
+        staggers=(args.stagger,),
+        fault_plans=plans,
+        verify=not args.no_verify,
+        check=True,
+    )
+    specs = matrix.specs()
+    outcomes = run_matrix(
+        specs, max_workers=args.jobs or None, retries=0, cache=None
+    )
+    rows = []
+    failures = 0
+    for out in outcomes:
+        res = out.result
+        if res is None:
+            failures += 1
+            rows.append([
+                out.spec.workload, out.spec.scheme,
+                out.spec.fault_plan or "(none)", "-", "-", "-",
+                f"ERROR: {out.error}",
+            ])
+            continue
+        injected = sum(1 for ev in res.fault_trace if ev.get("hit"))
+        verdict = "pass" if (res.oracle or {}).get("passed") else "FAIL"
+        if verdict == "FAIL":
+            failures += 1
+        rows.append([
+            out.spec.workload, out.spec.scheme,
+            out.spec.fault_plan or "(none)",
+            f"{res.total_cycles:,}", res.aborts, injected, verdict,
+        ])
+    print(format_table(
+        ["workload", "scheme", "fault plan", "cycles", "aborts",
+         "faults hit", "oracle"],
+        rows,
+        title=f"fault campaign — {len(specs)} runs at scale {args.scale}, "
+              f"oracle armed",
+    ))
+    print()
+    print(f"{len(specs)} runs | {len(specs) - failures} ok, "
+          f"{failures} failed")
+    return 1 if failures else 0
+
+
 def cmd_hwcost(args: argparse.Namespace) -> int:
     from repro.hwcost.cacti import CactiLite
     from repro.hwcost.storage import suv_overhead_report
@@ -246,6 +321,7 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:", ", ".join(_WORKLOAD_CHOICES))
     print("schemes  :", ", ".join(SCHEMES))
     print("scales   : tiny, small, full")
+    print("fault plans:", ", ".join(list_presets()))
     return 0
 
 
@@ -262,6 +338,11 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--stagger", type=int, default=512)
     p.add_argument("--no-verify", action="store_true",
                    help="skip the workload's functional verifier")
+    p.add_argument("--fault-plan", default="",
+                   help="fault plan: a preset name (see `repro list`) "
+                        "or inline FaultPlan JSON")
+    p.add_argument("--check", action="store_true",
+                   help="run the atomicity oracle after the simulation")
 
 
 def _add_jobs(p: argparse.ArgumentParser) -> None:
@@ -320,6 +401,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="stall")
     p.add_argument("--stagger", type=int, default=512)
     p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--fault-plans", nargs="+", default=[],
+                   help="fault-plan axis (preset names or inline JSON)")
+    p.add_argument("--check", action="store_true",
+                   help="run the atomicity oracle after every run")
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes (0 = auto, at least 2)")
     p.add_argument("--cache-dir",
@@ -335,6 +420,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress lines")
     p.set_defaults(fn=cmd_matrix)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection campaign with the atomicity oracle",
+    )
+    p.add_argument("--workloads", nargs="+", default=["synthetic", "genome"],
+                   choices=_WORKLOAD_CHOICES)
+    p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
+                   choices=SCHEMES)
+    p.add_argument("--plans", nargs="+", default=list_presets(),
+                   help="fault plans to inject (preset names or inline "
+                        "JSON); the fault-free baseline always runs too")
+    p.add_argument("--seed", type=int, default=3)
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="tiny")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--threads", type=int, default=0)
+    p.add_argument("--policy",
+                   choices=("stall", "abort_requester", "abort_responder"),
+                   default="stall")
+    p.add_argument("--stagger", type=int, default=512)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = auto, at least 2)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
     p.set_defaults(fn=cmd_hwcost)

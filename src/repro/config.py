@@ -104,6 +104,10 @@ class RedirectConfig:
     misspeculation_penalty: int = 24
     pool_page_bytes: int = 8192
     pool_base: int = 1 << 40
+    #: cap on preserved-pool pages; 0 = unbounded (the paper's
+    #: assumption).  With a cap, allocation past it raises a typed
+    #: ``PoolExhausted`` that SUV converts into an abort-with-backoff.
+    pool_max_pages: int = 0
     #: redirect summary signature used to filter lookups (2 Kbit + a 2 Kbit
     #: "written once" bit-vector acting as a Bloom counter, Figure 5).
     summary_bits: int = 2048

@@ -5,52 +5,106 @@ memory.  Pages are allocated on demand; a redirect-entry pointer tracks
 the next free slot, and lines freed by the redirect-back optimization are
 recycled.  The pool lives at a fixed physical base so pool lines never
 collide with application data.
+
+The pool can be **bounded** (``max_pages``): once the cap is reached and
+the free list is empty, :meth:`allocate_line` raises
+:class:`~repro.errors.PoolExhausted`.  SUV converts that into a
+transaction abort with backoff — resource exhaustion degrades throughput
+instead of growing the pool without limit.  ``high_water`` records the
+maximum number of simultaneously-live lines, making pool pressure
+observable in scheme statistics.
 """
 
 from __future__ import annotations
 
 from repro.config import LINE_BYTES
+from repro.errors import PoolExhausted
 
 
 class PreservedPool:
     """On-demand paged allocator of redirected cache lines."""
 
-    def __init__(self, base_addr: int, page_bytes: int) -> None:
+    def __init__(
+        self, base_addr: int, page_bytes: int, max_pages: int = 0
+    ) -> None:
         if base_addr % page_bytes != 0:
             raise ValueError("pool base must be page-aligned")
         if page_bytes % LINE_BYTES != 0:
             raise ValueError("page size must be a whole number of lines")
         self.base_line = base_addr // LINE_BYTES
         self.lines_per_page = page_bytes // LINE_BYTES
+        #: page cap; 0 = unbounded (the paper's assumption)
+        self.max_pages = max_pages
         self._next_offset = 0          # bump pointer, in lines
         self._free: list[int] = []     # recycled pool lines (LIFO)
+        self._live: set[int] = set()   # currently-allocated lines
         self.pages_allocated = 0
         self.allocations = 0
         self.frees = 0
+        self.exhaustions = 0
+        self.high_water = 0
 
     def allocate_line(self) -> int:
-        """A free pool line (recycles freed lines before growing)."""
-        self.allocations += 1
+        """A free pool line (recycles freed lines before growing).
+
+        Raises :class:`PoolExhausted` when growing would exceed
+        ``max_pages`` and nothing is left to recycle.
+        """
         if self._free:
-            return self._free.pop()
-        if self._next_offset % self.lines_per_page == 0:
-            # crossing into a fresh page: the hardware allocates it and
-            # installs the mapping in the TLB (paper: "automatically
-            # allocates a page in the preserved redirect pool")
-            self.pages_allocated += 1
-        line = self.base_line + self._next_offset
-        self._next_offset += 1
+            line = self._free.pop()
+        else:
+            if self._next_offset % self.lines_per_page == 0:
+                # crossing into a fresh page: the hardware allocates it
+                # and installs the mapping in the TLB (paper:
+                # "automatically allocates a page in the preserved
+                # redirect pool")
+                if self.max_pages and self.pages_allocated >= self.max_pages:
+                    self.exhaustions += 1
+                    raise PoolExhausted(
+                        f"preserved pool exhausted: {self.pages_allocated} "
+                        f"pages allocated (cap {self.max_pages}), "
+                        "free list empty",
+                        max_pages=self.max_pages,
+                        live_lines=self.live_lines,
+                    )
+                self.pages_allocated += 1
+            line = self.base_line + self._next_offset
+            self._next_offset += 1
+        self.allocations += 1
+        self._live.add(line)
+        self.high_water = max(self.high_water, len(self._live))
         return line
 
     def free_line(self, line: int) -> None:
-        """Return a pool line for reuse (redirect-back reclamation)."""
-        if not self.contains_line(line):
+        """Return a pool line for reuse (redirect-back reclamation).
+
+        Rejects lines outside the pool and lines that are not currently
+        live — a double free would put the line on the free list twice
+        and hand the same line to two redirect entries.
+        """
+        if not self._in_range(line):
             raise ValueError(f"line {line:#x} is not a pool line")
+        if line not in self._live:
+            raise ValueError(
+                f"double free of pool line {line:#x} (already on the "
+                "free list)"
+            )
         self.frees += 1
+        self._live.remove(line)
         self._free.append(line)
 
-    def contains_line(self, line: int) -> bool:
+    def _in_range(self, line: int) -> bool:
         return self.base_line <= line < self.base_line + self._next_offset
+
+    def contains_line(self, line: int) -> bool:
+        """Is ``line`` a currently-allocated (live) pool line?
+
+        Lines sitting on the free list are *not* contained: answering
+        True for them let a double ``free_line`` silently corrupt
+        recycling.  Use :meth:`_in_range` semantics via ``base_line``
+        arithmetic if mere address-range membership is wanted.
+        """
+        return self._in_range(line) and line in self._live
 
     def tlb_index_of(self, line: int) -> int:
         """Index of the pool page holding ``line`` (the Figure 3 TLB clue)."""
@@ -62,4 +116,4 @@ class PreservedPool:
 
     @property
     def live_lines(self) -> int:
-        return self._next_offset - len(self._free)
+        return len(self._live)

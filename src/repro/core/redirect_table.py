@@ -211,6 +211,45 @@ class RedirectTable:
             self._mem[victim.orig_line] = victim
 
     # ------------------------------------------------------------------
+    def squeeze(
+        self, l1_entries: int | None = None, l2_ways: int | None = None
+    ) -> tuple[int, int]:
+        """Shrink table capacity mid-run (fault injection).
+
+        Returns ``(demoted, spilled)``: entries pushed out of the L1
+        tables toward the L2 home, and entries spilled from the L2 to
+        the software overflow area.  Victims follow the same demotion
+        path an organic overflow takes, so the usual overflow statistics
+        keep counting.
+        """
+        demoted = spilled = 0
+        if l1_entries is not None:
+            for tbl in self.l1_tables:
+                tbl.capacity = max(1, l1_entries)
+                while len(tbl) > tbl.capacity:
+                    victim_key = next(iter(tbl._entries))
+                    victim = tbl._entries.pop(victim_key)
+                    demoted += 1
+                    if victim.is_free:
+                        continue
+                    self.l1_overflows += 1
+                    if (victim.orig_line not in self.l2_table
+                            and victim.orig_line not in self._mem):
+                        self._home_in_l2(victim)
+        if l2_ways is not None:
+            before = self.l2_overflows
+            self.l2_table.ways = max(1, l2_ways)
+            for cset in self.l2_table._sets:
+                while len(cset) > self.l2_table.ways:
+                    victim_key = next(iter(cset))
+                    victim = cset.pop(victim_key)
+                    if victim.is_free:
+                        continue
+                    self.l2_overflows += 1
+                    self._mem[victim.orig_line] = victim
+            spilled = self.l2_overflows - before
+        return demoted, spilled
+
     @property
     def l1_miss_rate(self) -> float:
         total = self.l1_hits + self.l1_misses
@@ -223,6 +262,26 @@ class RedirectTable:
     @property
     def memory_entries(self) -> int:
         return len(self._mem)
+
+    def iter_entries(self):
+        """Every entry across all placement levels, deduplicated, in a
+        deterministic order (per-core L1 tables, then L2 sets, then the
+        software overflow area)."""
+        seen: set[int] = set()
+        for tbl in self.l1_tables:
+            for entry in tbl.values():
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    yield entry
+        for cset in self.l2_table._sets:
+            for entry in cset.values():
+                if id(entry) not in seen:
+                    seen.add(id(entry))
+                    yield entry
+        for entry in self._mem.values():
+            if id(entry) not in seen:
+                seen.add(id(entry))
+                yield entry
 
     def iter_valid_lines(self):
         """Original lines of every globally-valid entry (for summary

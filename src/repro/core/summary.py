@@ -36,6 +36,11 @@ class RedirectSummaryFilter:
         self.filtered = 0        # accesses proven unredirected (no lookup)
         self.passed = 0          # accesses sent to the table
         self.false_positives = 0  # passed accesses that found no entry
+        #: fault injection: while True, every inquiry answers "maybe
+        #: redirected", modelling a saturated filter (a false-positive
+        #: storm) — correctness is unaffected, only lookups are wasted.
+        self.force_positive = False
+        self.forced_positives = 0
         self.rebuilds = 0
         self._removes_since_rebuild = 0
         #: rebuild once this many conservative removals have accumulated
@@ -50,6 +55,10 @@ class RedirectSummaryFilter:
         """
         if not self.enabled:
             self.passed += 1
+            return True
+        if self.force_positive:
+            self.passed += 1
+            self.forced_positives += 1
             return True
         if self._sig.test(line):
             self.passed += 1
@@ -96,6 +105,7 @@ class RedirectSummaryFilter:
             "filtered": self.filtered,
             "passed": self.passed,
             "false_positives": self.false_positives,
+            "forced_positives": self.forced_positives,
             "filter_rate": self.filter_rate,
             "popcount": self._sig.popcount,
             "rebuilds": self.rebuilds,

@@ -1,0 +1,126 @@
+"""Structured simulator exceptions.
+
+The simulator used to fail with bare ``RuntimeError``/``AssertionError``
+strings; campaign tooling (the fault harness, the runner's retry logic,
+CI triage) needs machine-readable failures.  Every error below carries
+the simulated context it arose in — cycle, core, thread, transaction
+site — and the deadlock-flavoured ones embed a wait-for-graph dump.
+
+All simulation-time errors inherit ``RuntimeError`` so existing callers
+(and tests) that catch ``RuntimeError`` keep working; new code should
+catch the typed classes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by the repro package."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A simulation failed; carries the simulated context of the failure.
+
+    ``context`` is free-form (cycle, core, tid, site, ...) and rendered
+    into the message so plain tracebacks stay informative.
+    """
+
+    def __init__(self, message: str, **context: Any) -> None:
+        self.context: dict[str, Any] = {
+            k: v for k, v in context.items() if v is not None
+        }
+        if self.context:
+            detail = ", ".join(f"{k}={v}" for k, v in self.context.items())
+            message = f"{message} [{detail}]"
+        super().__init__(message)
+
+    @property
+    def cycle(self) -> int | None:
+        return self.context.get("cycle")
+
+    @property
+    def core(self) -> int | None:
+        return self.context.get("core")
+
+
+class TransactionError(SimulationError):
+    """A transactional program misused the transaction API."""
+
+
+class InvariantViolation(SimulationError, AssertionError):
+    """An internal simulator invariant broke (a bug, not a user error)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulation ended with live threads that can never progress.
+
+    ``wait_graph`` is a list of per-core rows (core, status, waiting_on,
+    tid, site, parked) — the wait-for graph at the moment the event
+    queue drained; :func:`format_wait_graph` renders it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        wait_graph: Sequence[Mapping[str, Any]] = (),
+        **context: Any,
+    ) -> None:
+        self.wait_graph = [dict(row) for row in wait_graph]
+        if self.wait_graph:
+            message = f"{message}\n{format_wait_graph(self.wait_graph)}"
+        super().__init__(message, **context)
+
+
+class BudgetExhausted(SimulationError):
+    """An event/time budget guard tripped (runaway or livelocked run)."""
+
+
+class PoolExhausted(ReproError, RuntimeError):
+    """The preserved redirect pool hit its configured page cap.
+
+    SUV converts this into a transaction abort (with backoff) so the
+    run degrades instead of crashing; seeing it escape to a caller means
+    an allocation happened outside a transactional store.
+    """
+
+    def __init__(self, message: str, max_pages: int = 0, live_lines: int = 0):
+        super().__init__(message)
+        self.max_pages = max_pages
+        self.live_lines = live_lines
+
+
+class OracleViolation(ReproError, AssertionError):
+    """The atomicity oracle refuted a run.
+
+    ``report`` is the oracle's structured verdict (see
+    :mod:`repro.oracle`); the message embeds its failure list.
+    """
+
+    def __init__(self, message: str, report: Mapping[str, Any] | None = None):
+        self.report = dict(report) if report else {}
+        failures = self.report.get("failures")
+        if failures:
+            message += "\n  - " + "\n  - ".join(str(f) for f in failures)
+        super().__init__(message)
+
+
+def format_wait_graph(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Render a wait-for-graph dump as an aligned text block."""
+    lines = ["wait-for graph:"]
+    for row in rows:
+        waiting = row.get("waiting_on")
+        arrow = f" -> core {waiting}" if waiting is not None else ""
+        site = row.get("site")
+        tx = f" tx@site={site}" if site is not None else ""
+        lines.append(
+            f"  core {row.get('core')}: {row.get('status')}"
+            f" tid={row.get('tid')}{tx}{arrow}"
+        )
+    parked = [r for r in rows if r.get("parked")]
+    if parked:
+        lines.append("  parked threads: " + ", ".join(
+            f"tid={r.get('tid')} ({r.get('park_reason')})" for r in parked
+        ))
+    return "\n".join(lines)

@@ -51,6 +51,9 @@ class TxFrame:
     #: scheme-private scratch state (undo-log entries, redirect entries,
     #: overflowed lines, read-version records, ...).
     vm: dict[str, Any] = field(default_factory=dict)
+    #: atomicity-oracle operation log: ("r"|"w", addr, value) in program
+    #: order; populated only when an OracleRecorder is attached.
+    oracle_ops: list = field(default_factory=list)
 
     @classmethod
     def create(
@@ -95,6 +98,7 @@ class TxFrame:
         self.write_sig.union_inplace(child.write_sig)
         self.write_buffer.update(child.write_buffer)
         self.tentative_cycles += child.tentative_cycles
+        self.oracle_ops.extend(child.oracle_ops)
 
     def reset_for_retry(self, now: int) -> None:
         """Fresh signatures/buffers for a re-execution of this level."""
@@ -106,6 +110,7 @@ class TxFrame:
         self.tentative_cycles = 0
         self.start_time = now
         self.vm.clear()
+        self.oracle_ops.clear()
 
     # conflict membership tests ----------------------------------------
     def may_read_conflict(self, line: int) -> bool:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.config import SimConfig
 from repro.core.preserved_pool import PreservedPool
+from repro.errors import InvariantViolation, PoolExhausted
 from repro.core.redirect_entry import EntryState, RedirectEntry
 from repro.core.redirect_table import RedirectTable
 from repro.core.summary import RedirectSummaryFilter
@@ -51,11 +52,17 @@ class SUV(VersionManager):
         super().__init__(config, hierarchy)
         rcfg = config.redirect
         self.table = RedirectTable(config.n_cores, rcfg)
-        self.pool = PreservedPool(rcfg.pool_base, rcfg.pool_page_bytes)
+        self.pool = PreservedPool(
+            rcfg.pool_base, rcfg.pool_page_bytes, rcfg.pool_max_pages
+        )
         self.summary = RedirectSummaryFilter(rcfg)
+        #: orig_lines of VALID entries with an in-flight "swap" action
+        #: (redirect-back disabled): their pool lines must not be
+        #: reclaimed while the owning transaction is open.
+        self._inflight_swaps: set[int] = set()
         self.stats.extra.update(
             redirects=0, redirect_backs=0, remote_entry_touches=0,
-            misspeculations=0,
+            misspeculations=0, pool_exhaustions=0, pool_reclaims=0,
         )
 
     # ------------------------------------------------------------------
@@ -74,6 +81,57 @@ class SUV(VersionManager):
             self.stats.extra["misspeculations"] += 1
             extra += self.config.redirect.misspeculation_penalty
         return res.entry, extra
+
+    #: committed entries reclaimed per software pass on pool exhaustion
+    RECLAIM_BATCH = 8
+
+    def _allocate_or_doom(self, frame: TxFrame) -> tuple[int | None, int]:
+        """``(pool line, extra cycles)``, or ``(None, cost)`` after
+        dooming the transaction.
+
+        Pool exhaustion is survivable, in two stages.  First a software
+        handler reclaims committed (stable ``VALID``) redirect entries:
+        their data is copied back to the original lines, the entries are
+        dropped from the table and the summary, and the pool lines
+        return to the free list.  Only when nothing is reclaimable —
+        every pool line is pinned by an open transaction — is this
+        transaction marked ``must_abort``: the store stays untranslated
+        and the ordinary abort-with-backoff path releases the
+        transaction's own pool lines, so a retry (after neighbours
+        commit) can succeed.
+        """
+        try:
+            return self.pool.allocate_line(), 0
+        except PoolExhausted:
+            pass
+        freed = self._reclaim_committed()
+        if freed:
+            # software handler: table/summary surgery plus one line copy
+            # back to the original address per reclaimed entry
+            cost = self.config.redirect.software_overhead + freed * self.COPY_CYCLES
+            return self.pool.allocate_line(), cost
+        self.stats.extra["pool_exhaustions"] += 1
+        frame.vm["must_abort"] = "pool"
+        return None, 0
+
+    def _reclaim_committed(self) -> int:
+        """Reclaim up to :attr:`RECLAIM_BATCH` committed redirections."""
+        freed = 0
+        for entry in list(self.table.iter_entries()):
+            if freed >= self.RECLAIM_BATCH:
+                break
+            if entry.state is not EntryState.VALID:
+                continue  # transient: pinned by an open transaction
+            if entry.orig_line in self._inflight_swaps:
+                continue  # its pool line is being swapped right now
+            if not self.pool.contains_line(entry.redirected_line):
+                continue  # redirect-back entry pointing at the original
+            self.summary.remove(entry.orig_line)
+            self.table.remove(entry.orig_line)
+            self.pool.free_line(entry.redirected_line)
+            freed += 1
+        self.stats.extra["pool_reclaims"] += freed
+        return freed
 
     @staticmethod
     def _frame_target(frame: TxFrame, line: int) -> int | None:
@@ -119,9 +177,10 @@ class SUV(VersionManager):
                 )
                 targets[line] = target
                 return extra, target
-            raise AssertionError(
+            raise InvariantViolation(
                 "write reached a line transiently redirected by another "
-                "core; conflict detection must prevent this"
+                "core; conflict detection must prevent this",
+                core=core, line=line, owner=entry.owner,
             )
 
         if entry is not None and entry.state is EntryState.VALID:
@@ -141,7 +200,12 @@ class SUV(VersionManager):
                 frame.vm["allocate_write"] = True
                 return extra + self.COPY_CYCLES, line
             # ablation: no redirect-back — chain to a fresh pool line
-            new_line = self.pool.allocate_line()
+            self._inflight_swaps.add(entry.orig_line)
+            new_line, reclaim_cost = self._allocate_or_doom(frame)
+            extra += reclaim_cost
+            if new_line is None:
+                self._inflight_swaps.discard(entry.orig_line)
+                return extra, line
             self.stats.extra["redirects"] += 1
             actions.append(("swap", entry, new_line))
             targets[line] = new_line
@@ -149,8 +213,11 @@ class SUV(VersionManager):
             return extra + self.COPY_CYCLES, new_line
 
         # no (live) entry: create a fresh redirection into the pool
+        new_line, reclaim_cost = self._allocate_or_doom(frame)
+        extra += reclaim_cost
+        if new_line is None:
+            return extra, line
         self.stats.extra["redirects"] += 1
-        new_line = self.pool.allocate_line()
         new_entry = RedirectEntry(line, new_line, EntryState.LOCAL_VALID, owner=core)
         self.table.insert(core, new_entry)
         actions.append(("new", new_entry, None))
@@ -194,6 +261,7 @@ class SUV(VersionManager):
             else:  # "swap" (redirect-back disabled)
                 self.pool.free_line(entry.redirected_line)
                 entry.redirected_line = aux
+                self._inflight_swaps.discard(entry.orig_line)
         if self.summary.maybe_rebuild(self.table.iter_valid_lines()):
             # software rebuild of the summary filter (performance hygiene)
             latency += self.config.redirect.software_overhead
@@ -211,6 +279,7 @@ class SUV(VersionManager):
                 entry.on_abort()             # LOCAL_INVALID → VALID
             else:  # "swap"
                 self.pool.free_line(aux)
+                self._inflight_swaps.discard(entry.orig_line)
         return latency
 
     def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:
@@ -230,4 +299,5 @@ class SUV(VersionManager):
         out.update({f"summary_{k}": v for k, v in self.summary.stats().items()})
         out["pool_pages"] = self.pool.pages_allocated
         out["pool_live_lines"] = self.pool.live_lines
+        out["pool_high_water"] = self.pool.high_water
         return out

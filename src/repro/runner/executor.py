@@ -36,7 +36,15 @@ from repro.simulator import SimResult, Simulator
 
 
 def execute_spec(spec: ExperimentSpec) -> SimResult:
-    """Build and run the simulation a spec describes, in-process."""
+    """Build and run the simulation a spec describes, in-process.
+
+    ``spec.fault_plan`` arms a fault injector for the run;
+    ``spec.check`` runs the atomicity oracle afterwards (raising
+    :class:`~repro.errors.OracleViolation` on a violation) and attaches
+    its report to the result.  Both happen here, inside the worker, so
+    they behave identically in serial and process-pool execution.
+    """
+    from repro.faults import parse_plan
     from repro.workloads import make_workload
 
     config = spec.build_config()
@@ -48,8 +56,16 @@ def execute_spec(spec: ExperimentSpec) -> SimResult:
         scale=spec.scale,
         **dict(spec.workload_kwargs),
     )
-    sim = Simulator(config, scheme=spec.scheme, seed=spec.seed)
+    sim = Simulator(
+        config,
+        scheme=spec.scheme,
+        seed=spec.seed,
+        faults=parse_plan(spec.fault_plan),
+        oracle=spec.check,
+    )
     result = sim.run(program.threads, max_events=spec.max_events)
+    if spec.check:
+        result.oracle = sim.oracle.verify()
     if spec.verify:
         program.verify(result.memory)
     return result

@@ -30,7 +30,7 @@ from typing import Any, Iterator, Mapping, Sequence
 from repro.config import HTMConfig, SimConfig
 
 #: bump when the spec encoding changes, so stale cache entries never match
-SPEC_FORMAT_VERSION = 1
+SPEC_FORMAT_VERSION = 2
 
 _SCALES = ("tiny", "small", "full")
 _SCALAR_TYPES = (bool, int, float, str, type(None))
@@ -76,6 +76,12 @@ class ExperimentSpec:
     config_overrides: Overrides = ()
     #: keyword overrides for make_workload, e.g. {"n_flows": 128}
     workload_kwargs: Overrides = ()
+    #: fault plan: "" = fault-free, a preset name, or inline FaultPlan
+    #: JSON (see :func:`repro.faults.parse_plan`)
+    fault_plan: str = ""
+    #: run the atomicity oracle after the simulation and attach its
+    #: report to the result (raises OracleViolation on failure)
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
@@ -154,6 +160,9 @@ class ExperimentSpec:
     def label(self) -> str:
         """A short human-readable tag for logs and progress lines."""
         tag = f"{self.workload}/{self.scheme} {self.scale} seed={self.seed}"
+        if self.fault_plan:
+            plan = self.fault_plan
+            tag += f" faults={plan if len(plan) <= 24 else 'inline'}"
         if self.config_overrides:
             tag += " " + ",".join(f"{k}={v}" for k, v in self.config_overrides)
         return tag
@@ -179,8 +188,11 @@ class RunMatrix:
     policies: Sequence[str] = ("stall",)
     staggers: Sequence[int] = (512,)
     overrides: Sequence[Overrides] = ((),)
+    #: fault-plan axis: each entry is a spec string ("" = fault-free)
+    fault_plans: Sequence[str] = ("",)
     workload_kwargs: Overrides = ()
     verify: bool = True
+    check: bool = False
     max_events: int = 20_000_000
 
     def specs(self) -> list[ExperimentSpec]:
@@ -199,12 +211,14 @@ class RunMatrix:
                 max_events=self.max_events,
                 config_overrides=over,
                 workload_kwargs=self.workload_kwargs,
+                fault_plan=plan,
+                check=self.check,
             )
             for workload, scheme, scale, seed, n_cores, n_threads, policy,
-                stagger, over in product(
+                stagger, over, plan in product(
                     self.workloads, self.schemes, self.scales, self.seeds,
                     self.cores, self.threads, self.policies, self.staggers,
-                    self.overrides,
+                    self.overrides, self.fault_plans,
                 )
         ]
 

@@ -11,6 +11,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.errors import BudgetExhausted
+
 
 @dataclass(order=True)
 class Event:
@@ -70,14 +72,18 @@ class EventQueue:
         executed = 0
         while self._heap:
             if max_events is not None and executed >= max_events:
-                raise RuntimeError(f"event budget exhausted ({max_events} events)")
+                raise BudgetExhausted(
+                    f"event budget exhausted ({max_events} events)",
+                    cycle=self.now, events=executed,
+                )
             nxt = self._heap[0]
             if nxt.cancelled:
                 heapq.heappop(self._heap)
                 continue
             if max_time is not None and nxt.time > max_time:
-                raise RuntimeError(
-                    f"time budget exhausted (t={nxt.time} > {max_time})"
+                raise BudgetExhausted(
+                    f"time budget exhausted (t={nxt.time} > {max_time})",
+                    cycle=self.now, events=executed,
                 )
             self.step()
             executed += 1

@@ -38,11 +38,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.config import LINE_SHIFT, SimConfig
+from repro.errors import DeadlockError, InvariantViolation, TransactionError
+from repro.faults import FaultInjector, FaultPlan
 from repro.htm.backoff import BackoffPolicy
 from repro.htm.ops import Barrier, OpenTx, Read, Tx, Work, Write
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, make_version_manager
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.oracle import OracleRecorder
 from repro.sim.kernel import Event, EventQueue
 from repro.sim.rng import RngStreams
 from repro.stats.breakdown import Breakdown
@@ -158,6 +161,10 @@ class SimResult:
     events_executed: int
     n_threads: int = 0
     context_switches: int = 0
+    #: fault-injection events applied during the run (empty = fault-free)
+    fault_trace: list[dict[str, Any]] = field(default_factory=list)
+    #: atomicity-oracle report when the run was checked, else None
+    oracle: dict[str, Any] | None = None
 
     @property
     def abort_ratio(self) -> float:
@@ -183,6 +190,8 @@ class SimResult:
             "events_executed": self.events_executed,
             "n_threads": self.n_threads,
             "context_switches": self.context_switches,
+            "fault_trace": self.fault_trace,
+            "oracle": self.oracle,
         }
 
     @classmethod
@@ -206,6 +215,8 @@ class SimResult:
             events_executed=int(data["events_executed"]),
             n_threads=int(data.get("n_threads", 0)),
             context_switches=int(data.get("context_switches", 0)),
+            fault_trace=list(data.get("fault_trace", ())),
+            oracle=data.get("oracle"),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -225,6 +236,8 @@ class Simulator:
         config: SimConfig | None = None,
         scheme: str | VersionManager = "suv",
         seed: int = 12345,
+        faults: FaultPlan | FaultInjector | None = None,
+        oracle: OracleRecorder | bool | None = None,
     ) -> None:
         self.config = config or SimConfig()
         self.queue = EventQueue()
@@ -236,6 +249,12 @@ class Simulator:
         else:
             self.scheme = make_version_manager(scheme, self.config, self.hierarchy)
         self.backoff = BackoffPolicy(self.config.htm, self.rng.stream("backoff"))
+        if faults is not None and not isinstance(faults, FaultInjector):
+            faults = FaultInjector(faults)
+        self.faults = faults
+        if oracle is True:
+            oracle = OracleRecorder()
+        self.oracle: OracleRecorder | None = oracle or None
         self.cores: list[_Core] = []
         self._ctxs: list[_ThreadCtx] = []
         self._ready: deque[_ThreadCtx] = deque()
@@ -295,13 +314,20 @@ class Simulator:
             ctx.slice_start = offset
             self.queue.schedule(offset, lambda c=core: self._step(c))
 
+        if self.oracle is not None:
+            self.oracle.attach(self)
+        if self.faults is not None:
+            self.faults.arm(self)
         executed = self.queue.run(max_events=max_events, max_time=max_time)
 
         laggards = [ctx.tid for ctx in self._ctxs if not ctx.done]
         if laggards:
-            raise RuntimeError(
+            raise DeadlockError(
                 f"simulation ended with non-finished threads {laggards} "
-                "(likely a barrier mismatch or an undetected deadlock)"
+                "(likely a barrier mismatch or an undetected deadlock)",
+                wait_graph=self.wait_graph_dump(),
+                cycle=self.queue.now,
+                laggards=laggards,
             )
 
         breakdown = Breakdown()
@@ -324,7 +350,42 @@ class Simulator:
             events_executed=executed,
             n_threads=len(threads),
             context_switches=self.context_switches,
+            fault_trace=(
+                list(self.faults.trace) if self.faults is not None else []
+            ),
         )
+
+    def wait_graph_dump(self) -> list[dict[str, Any]]:
+        """The current wait-for graph, one row per core plus parked
+        threads — attached to :class:`DeadlockError` and usable live
+        from a debugger or the fault harness."""
+        rows: list[dict[str, Any]] = []
+        for core in self.cores:
+            ctx = core.ctx
+            frames = ctx.frames if ctx is not None else []
+            rows.append({
+                "core": core.idx,
+                "status": core.status,
+                "tid": ctx.tid if ctx is not None else None,
+                "site": frames[0].site if frames else None,
+                "waiting_on": core.waiting_on,
+                "parked": False,
+            })
+        mounted = {c.ctx for c in self.cores if c.ctx is not None}
+        for ctx in self._ctxs:
+            if ctx.done or ctx in mounted:
+                continue
+            rows.append({
+                "core": None,
+                "status": "parked",
+                "tid": ctx.tid,
+                "site": ctx.frames[0].site if ctx.frames else None,
+                "waiting_on": None,
+                "parked": True,
+                "park_reason": ctx.park_reason
+                or ("barrier" if ctx.barrier_bid is not None else "ready"),
+            })
+        return rows
 
     # ==================================================================
     # the scheduler (multiplexing layer)
@@ -401,6 +462,17 @@ class Simulator:
         if core.doomed_depth is not None:
             self._begin_abort(core)
             return
+        if self.faults is not None:
+            frozen = self.faults.consume_delay(core.idx)
+            if frozen:
+                # injected interrupt/interference burst: the core holds
+                # still (transactional state stays armed) and resumes
+                if core.in_tx:
+                    core.frames[-1].tentative_cycles += frozen
+                else:
+                    core.charge("NoTrans", frozen)
+                self._resume_after(core, frozen)
+                return
         if self._should_preempt(core):
             # suspend at an operation boundary; transactional state
             # (signatures, redirect entries, logs) stays armed
@@ -465,13 +537,17 @@ class Simulator:
         frame.parent = core.frames[-1] if core.frames else None
         if isinstance(op, OpenTx):
             if depth == 0:
-                raise RuntimeError(
+                raise TransactionError(
                     "an open-nested transaction needs an enclosing "
-                    "transaction"
+                    "transaction",
+                    cycle=self.queue.now, core=core.idx,
+                    tid=core.ctx.tid, site=op.site,
                 )
             if mode == "lazy":
-                raise RuntimeError(
-                    "open nesting is not supported in lazy execution mode"
+                raise TransactionError(
+                    "open nesting is not supported in lazy execution mode",
+                    cycle=self.queue.now, core=core.idx,
+                    tid=core.ctx.tid, site=op.site,
                 )
             frame.open_nested = True
             frame.compensate = op.compensate
@@ -552,6 +628,8 @@ class Simulator:
         if frame.depth == 0:
             # publish and release isolation
             self.memory.bulk_store(frame.write_buffer)
+            if self.oracle is not None:
+                self.oracle.note_commit(core.idx, frame, open_nested=False)
             for line in frame.write_lines:
                 self._line_versions[line] = self._line_versions.get(line, 0) + 1
             core.charge("Trans", frame.tentative_cycles)
@@ -564,6 +642,8 @@ class Simulator:
             # open-nested commit (§IV-C): publish now, release isolation,
             # and register the compensating action with the parent
             self.memory.bulk_store(frame.write_buffer)
+            if self.oracle is not None:
+                self.oracle.note_commit(core.idx, frame, open_nested=True)
             for line in frame.write_lines:
                 self._line_versions[line] = self._line_versions.get(line, 0) + 1
             parent = core.frames[-1]
@@ -621,8 +701,12 @@ class Simulator:
         core.gen_stack.pop()  # the aborted level's own generator
         retry_frame.reset_for_retry(self.queue.now)
         core.consecutive_aborts += 1
+        if self.oracle is not None:
+            self.oracle.note_abort(core.idx, depth)
         self._wake_waiters(core)
         delay = self.backoff.delay(core.consecutive_aborts)
+        if self.faults is not None:
+            delay = self.faults.perturb_backoff(core.idx, delay)
         core.charge("Backoff", delay)
         core.status = BACKOFF
         self.queue.schedule(delay, lambda: self._retry_tx(core, depth))
@@ -716,12 +800,16 @@ class Simulator:
                     result = self.hierarchy.write(core.idx, phys, speculative=spec)
                 extra += scheme.post_write(core.idx, frame, line, result)
                 frame.write_buffer[op.addr] = op.value
+                if self.oracle is not None:
+                    self.oracle.record_tx_write(frame, op.addr, op.value)
                 latency = result.latency + extra
             else:
                 frame.record_read(line)
                 extra, phys = scheme.pre_read(core.idx, frame, line)
                 result = self.hierarchy.read(core.idx, phys)
                 value = self._tx_read_value(core, op.addr)
+                if self.oracle is not None:
+                    self.oracle.record_tx_read(frame, op.addr, value)
                 core.pending_send = value if value is not None else _SENTINEL_NONE
                 latency = result.latency + extra
             frame.tentative_cycles += latency
@@ -736,9 +824,13 @@ class Simulator:
             if is_write:
                 result = self.hierarchy.write(core.idx, phys)
                 self.memory.store(op.addr, op.value)
+                if self.oracle is not None:
+                    self.oracle.record_nontx(core.idx, True, op.addr, op.value)
             else:
                 result = self.hierarchy.read(core.idx, phys)
                 value = self.memory.load(op.addr)
+                if self.oracle is not None:
+                    self.oracle.record_nontx(core.idx, False, op.addr, value)
                 core.pending_send = value if value is not None else _SENTINEL_NONE
             core.charge("NoTrans", result.latency + extra)
             self._resume_after(core, result.latency + extra)
@@ -865,7 +957,11 @@ class Simulator:
             self._unstall(victim)
             self._begin_abort(victim)
         elif victim.status == BARRIER:
-            raise AssertionError("barriers inside transactions are not allowed")
+            raise InvariantViolation(
+                "a transactional core is parked at a barrier",
+                cycle=self.queue.now, core=victim_idx,
+                tid=victim.ctx.tid if victim.ctx else None,
+            )
         # RUNNING / BACKOFF victims notice the doom at their next event
 
     # -- stalling ---------------------------------------------------------
@@ -884,8 +980,11 @@ class Simulator:
         core.waiting_on = holder_idx
         core.stall_start = self.queue.now
         holder.waiters.add(core.idx)
+        period = self.config.htm.stall_retry_period
+        if self.faults is not None:
+            period = self.faults.perturb_stall_retry(core.idx, period)
         core.retry_event = self.queue.schedule(
-            self.config.htm.stall_retry_period, lambda: self._stall_retry(core)
+            period, lambda: self._stall_retry(core)
         )
 
     def _unstall(self, core: _Core) -> None:
@@ -1000,7 +1099,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _enter_barrier(self, core: _Core, op: Barrier) -> None:
         if core.in_tx:
-            raise RuntimeError("Barrier inside a transaction is not allowed")
+            raise TransactionError(
+                "Barrier inside a transaction is not allowed",
+                cycle=self.queue.now, core=core.idx, tid=core.ctx.tid,
+                site=core.frames[0].site,
+            )
         ctx = core.ctx
         ctx.barrier_bid = op.bid
         ctx.barrier_start = self.queue.now

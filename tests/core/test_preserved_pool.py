@@ -81,3 +81,81 @@ def test_live_lines_accounting():
     pool.free_line(a)
     assert pool.live_lines == 1
     assert pool.allocations == 2 and pool.frees == 1
+
+
+# ----------------------------------------------------------------------
+# bounded pool (robustness harness)
+# ----------------------------------------------------------------------
+def test_unbounded_by_default():
+    pool = make_pool(page_bytes=128)
+    for _ in range(100):  # many pages, no cap
+        pool.allocate_line()
+    assert pool.pages_allocated == 100 * LINE_BYTES // 128
+    assert pool.exhaustions == 0
+
+
+def test_cap_raises_typed_exhaustion():
+    from repro.errors import PoolExhausted
+
+    pool = PreservedPool(1 << 40, page_bytes=128, max_pages=2)
+    per_page = 128 // LINE_BYTES
+    for _ in range(2 * per_page):
+        pool.allocate_line()
+    with pytest.raises(PoolExhausted) as exc:
+        pool.allocate_line()
+    assert exc.value.max_pages == 2
+    assert exc.value.live_lines == 2 * per_page
+    assert pool.exhaustions == 1
+
+
+def test_cap_recycles_freed_lines():
+    from repro.errors import PoolExhausted
+
+    pool = PreservedPool(1 << 40, page_bytes=128, max_pages=1)
+    per_page = 128 // LINE_BYTES
+    lines = [pool.allocate_line() for _ in range(per_page)]
+    with pytest.raises(PoolExhausted):
+        pool.allocate_line()
+    pool.free_line(lines[0])
+    assert pool.allocate_line() == lines[0]  # recycled, no new page
+    assert pool.pages_allocated == 1
+
+
+def test_cap_installable_mid_run():
+    # the pool_cap fault freezes the pool at its current size
+    pool = make_pool(page_bytes=128)
+    pool.allocate_line()
+    pool.max_pages = max(1, pool.pages_allocated)
+    per_page = 128 // LINE_BYTES
+    from repro.errors import PoolExhausted
+
+    for _ in range(per_page - 1):
+        pool.allocate_line()
+    with pytest.raises(PoolExhausted):
+        pool.allocate_line()
+
+
+def test_double_free_rejected():
+    pool = make_pool()
+    a = pool.allocate_line()
+    pool.free_line(a)
+    with pytest.raises(ValueError, match="double free"):
+        pool.free_line(a)
+
+
+def test_contains_line_false_after_free():
+    pool = make_pool()
+    a = pool.allocate_line()
+    pool.free_line(a)
+    assert not pool.contains_line(a)
+
+
+def test_high_water_tracks_peak():
+    pool = make_pool()
+    lines = [pool.allocate_line() for _ in range(5)]
+    for ln in lines:
+        pool.free_line(ln)
+    assert pool.live_lines == 0
+    assert pool.high_water == 5
+    pool.allocate_line()
+    assert pool.high_water == 5  # peak, not current

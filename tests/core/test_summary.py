@@ -51,8 +51,8 @@ def test_false_positive_counter():
 def test_stats_keys():
     f = make_filter()
     assert set(f.stats()) == {
-        "filtered", "passed", "false_positives", "filter_rate", "popcount",
-        "rebuilds",
+        "filtered", "passed", "false_positives", "forced_positives",
+        "filter_rate", "popcount", "rebuilds",
     }
 
 

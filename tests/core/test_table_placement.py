@@ -71,3 +71,107 @@ def test_stats_shape():
     assert s["l1_hits"] == 1
     assert s["full_misses"] == 1
     assert 0 <= s["l1_miss_rate"] <= 1
+
+
+# ----------------------------------------------------------------------
+# Table III latencies along the L1 -> L2 -> memory spill path
+# ----------------------------------------------------------------------
+def test_l1_hit_is_zero_latency():
+    cfg = RedirectConfig()
+    t = RedirectTable(2, cfg)
+    t.insert(0, valid(1))
+    res = t.lookup(0, 1)
+    assert res.level == "l1"
+    assert res.latency == cfg.l1_latency == 0
+
+
+def test_l2_hit_pays_l2_latency():
+    cfg = RedirectConfig()
+    t = RedirectTable(2, cfg)
+    t.insert(0, valid(1))
+    res = t.lookup(1, 1)  # core 1 has no L1 copy yet
+    assert res.level == "l2"
+    assert res.latency == cfg.l1_latency + cfg.l2_latency == 10
+
+
+def test_mem_hit_pays_memory_plus_software():
+    cfg = RedirectConfig(l1_entries=1, l2_entries=1, l2_ways=1)
+    t = RedirectTable(3, cfg)
+    for i in range(3):
+        t.insert(0, valid(i))
+    target = next(iter(t._mem))
+    res = t.lookup(2, target)
+    assert res.level == "mem"
+    assert res.latency == (
+        cfg.l1_latency + cfg.l2_latency
+        + cfg.memory_latency + cfg.software_overhead
+    )
+    # Table III numbers: 0 + 10 + 150 + 40
+    assert res.latency == 200
+
+
+def test_full_miss_pays_the_probe_but_finds_nothing():
+    cfg = RedirectConfig()
+    t = RedirectTable(1, cfg)
+    res = t.lookup(0, 999)
+    assert res.entry is None
+    assert res.level == "none"
+    assert res.latency == cfg.l1_latency + cfg.l2_latency
+
+
+# ----------------------------------------------------------------------
+# squeeze() — the table_squeeze fault
+# ----------------------------------------------------------------------
+def test_squeeze_l1_demotes_to_l2():
+    t = table(l1=4, cores=1)
+    for i in range(4):
+        t.insert(0, valid(i))
+    before = t.stats()["l1_overflows"]
+    demoted, spilled = t.squeeze(l1_entries=2)
+    assert demoted == 2 and spilled == 0
+    assert len(t.l1_tables[0]) == 2
+    assert t.stats()["l1_overflows"] == before + 2
+    # no entry lost: all four still resolvable
+    for i in range(4):
+        assert t.lookup(0, i).entry is not None
+
+
+def test_squeeze_l2_spills_to_memory():
+    t = table(l1=1, l2=8, ways=8, cores=1)
+    for i in range(8):
+        t.insert(0, valid(i * 8))  # same L2 set (orig % n_sets)
+    demoted, spilled = t.squeeze(l2_ways=2)
+    assert spilled > 0
+    assert t.memory_entries == spilled
+    assert t.stats()["l2_overflows"] >= spilled
+    for i in range(8):
+        assert t.lookup(0, i * 8).entry is not None
+
+
+def test_squeeze_floors_at_one():
+    t = table(l1=4, cores=1)
+    t.insert(0, valid(1))
+    t.squeeze(l1_entries=0, l2_ways=0)
+    assert t.l1_tables[0].capacity == 1
+    assert t.l2_table.ways == 1
+
+
+def test_squeeze_then_growth_uses_new_capacity():
+    t = table(l1=4, cores=1)
+    t.squeeze(l1_entries=2)
+    for i in range(4):
+        t.insert(0, valid(i))
+    assert len(t.l1_tables[0]) == 2  # new inserts respect the squeeze
+
+
+# ----------------------------------------------------------------------
+# iter_entries — the oracle's full-table walk
+# ----------------------------------------------------------------------
+def test_iter_entries_covers_all_levels_once():
+    t = table(l1=1, l2=1, ways=1, cores=2)
+    for i in range(3):
+        t.insert(0, valid(i))
+    t.lookup(1, 0)  # replicate something into core 1's L1
+    entries = list(t.iter_entries())
+    assert len(entries) == len({id(e) for e in entries})  # deduplicated
+    assert {e.orig_line for e in entries} == {0, 1, 2}    # complete

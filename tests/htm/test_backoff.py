@@ -41,3 +41,51 @@ def test_jitter_varies():
     policy = make(seed=5, backoff_cap=1 << 20)
     draws = {policy.delay(6) for _ in range(30)}
     assert len(draws) > 1
+
+
+# ----------------------------------------------------------------------
+# property-style tests (hypothesis)
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=64),
+    base=st.sampled_from([1, 2, 8, 32, 100]),
+    cap=st.sampled_from([16, 256, 4096, 1 << 16]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_delay_always_in_window(n, base, cap, seed):
+    policy = make(seed=seed, backoff_base=base, backoff_cap=cap)
+    d = policy.delay(n)
+    shift = min(n - 1, 62)  # base << huge n would overflow the window calc
+    window = min(base << shift if base << shift > 0 else cap, cap)
+    assert max(1, window // 2) <= d <= window
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=1, max_value=10**6))
+def test_cap_respected_for_huge_abort_counts(n):
+    policy = make(backoff_base=32, backoff_cap=4096)
+    assert 1 <= policy.delay(n) <= 4096
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    ns=st.lists(st.integers(min_value=0, max_value=20),
+                min_size=1, max_size=20),
+)
+def test_deterministic_sequence_per_seed(seed, ns):
+    a = make(seed=seed)
+    b = make(seed=seed)
+    assert [a.delay(n) for n in ns] == [b.delay(n) for n in ns]
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=0, max_value=100))
+def test_zero_aborts_means_zero_delay_only(n):
+    d = make(seed=3).delay(n)
+    assert (d == 0) == (n == 0)

@@ -103,3 +103,36 @@ def test_matrix_propagates_run_knobs():
     assert spec.verify is False
     assert spec.max_events == 123
     assert spec.stagger == 7
+
+
+def test_fault_plan_and_check_affect_hash():
+    base = ExperimentSpec("genome")
+    assert base.spec_hash() != base.with_(fault_plan="tx-kill").spec_hash()
+    assert base.spec_hash() != base.with_(check=True).spec_hash()
+
+
+def test_fault_plan_shows_in_label():
+    spec = ExperimentSpec("genome", fault_plan="tx-kill")
+    assert "faults=tx-kill" in spec.label()
+    inline = ExperimentSpec("genome", fault_plan='{"name": "x", "actions": '
+                            '[{"kind": "kill_tx", "at_cycle": 1}]}')
+    assert "faults=inline" in inline.label()
+
+
+def test_matrix_fault_plans_axis():
+    matrix = RunMatrix(
+        workloads=("genome",),
+        schemes=("suv",),
+        fault_plans=("", "tx-kill"),
+        check=True,
+    )
+    specs = matrix.specs()
+    assert len(specs) == 2
+    assert [s.fault_plan for s in specs] == ["", "tx-kill"]
+    assert all(s.check for s in specs)
+
+
+def test_fault_fields_roundtrip():
+    spec = ExperimentSpec("genome", fault_plan="sig-storm", check=True)
+    again = ExperimentSpec.from_dict(spec.to_dict())
+    assert again == spec

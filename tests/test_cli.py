@@ -92,3 +92,36 @@ def test_unknown_workload_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_run_with_fault_plan_and_check(capsys):
+    rc = main(["run", "synthetic", "suv", "--scale", "tiny", "--cores", "4",
+               "--fault-plan", "tx-kill", "--check"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "faults:" in out and "events injected" in out
+    assert "oracle: PASSED" in out
+
+
+def test_run_rejects_unknown_fault_plan():
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        main(["run", "synthetic", "suv", "--scale", "tiny", "--cores", "4",
+              "--fault-plan", "no-such-plan"])
+
+
+def test_faults_campaign_command(capsys):
+    rc = main(["faults", "--workloads", "synthetic", "--schemes", "suv",
+               "--plans", "tx-kill", "--scale", "tiny", "--cores", "4",
+               "--jobs", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fault campaign" in out
+    assert "(none)" in out      # the fault-free baseline row
+    assert "tx-kill" in out
+    assert "pass" in out and "FAIL" not in out
+
+
+def test_list_mentions_fault_plans(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plans:" in out and "tx-kill" in out

@@ -1,0 +1,109 @@
+"""Tests for the structured error hierarchy."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.preserved_pool import PreservedPool
+from repro.errors import (
+    BudgetExhausted,
+    DeadlockError,
+    InvariantViolation,
+    OracleViolation,
+    PoolExhausted,
+    ReproError,
+    SimulationError,
+    TransactionError,
+    format_wait_graph,
+)
+from repro.htm.ops import Barrier, Work
+from repro.simulator import Simulator
+
+
+# ----------------------------------------------------------------------
+# hierarchy: typed errors stay catchable the old way
+# ----------------------------------------------------------------------
+def test_simulation_errors_are_runtime_errors():
+    for cls in (SimulationError, TransactionError, DeadlockError,
+                BudgetExhausted):
+        assert issubclass(cls, RuntimeError)
+        assert issubclass(cls, ReproError)
+
+
+def test_assertion_flavoured_errors():
+    assert issubclass(InvariantViolation, AssertionError)
+    assert issubclass(OracleViolation, AssertionError)
+    assert issubclass(PoolExhausted, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# context rendering
+# ----------------------------------------------------------------------
+def test_context_rendered_into_message():
+    err = SimulationError("boom", cycle=120, core=3, site=7)
+    assert "cycle=120" in str(err)
+    assert "core=3" in str(err)
+    assert err.cycle == 120
+    assert err.core == 3
+
+
+def test_none_context_dropped():
+    err = SimulationError("boom", cycle=None, core=1)
+    assert "cycle" not in str(err)
+    assert err.cycle is None
+
+
+def test_pool_exhausted_carries_fields():
+    err = PoolExhausted("full", max_pages=2, live_lines=17)
+    assert err.max_pages == 2
+    assert err.live_lines == 17
+
+
+def test_oracle_violation_embeds_failures():
+    err = OracleViolation("failed", report={
+        "passed": False,
+        "failures": ["lost update at 0x40", "leaked pool line"],
+    })
+    assert "lost update at 0x40" in str(err)
+    assert err.report["passed"] is False
+
+
+def test_format_wait_graph():
+    text = format_wait_graph([
+        {"core": 0, "status": "stalled", "tid": 0, "site": 3,
+         "waiting_on": 1},
+        {"core": None, "status": "parked", "tid": 2, "parked": True,
+         "park_reason": "barrier 0"},
+    ])
+    assert "core 0: stalled" in text
+    assert "-> core 1" in text
+    assert "barrier 0" in text
+
+
+# ----------------------------------------------------------------------
+# the simulator raises them for real
+# ----------------------------------------------------------------------
+def test_barrier_mismatch_raises_deadlock_with_graph():
+    def waiter():
+        yield Barrier(0)
+
+    def defector():
+        yield Work(10)
+        yield Barrier(1)  # waits on a different barrier forever
+
+    sim = Simulator(SimConfig(n_cores=2), scheme="suv", seed=1)
+    with pytest.raises(DeadlockError) as exc:
+        sim.run([waiter, defector])
+    err = exc.value
+    assert err.wait_graph  # the dump rode along
+    assert "wait-for graph" in str(err)
+    assert err.context["laggards"]
+
+
+def test_pool_cap_raises_typed_error_outside_tx():
+    pool = PreservedPool(1 << 40, page_bytes=128, max_pages=1)
+    for _ in range(128 // 64):
+        pool.allocate_line()
+    with pytest.raises(PoolExhausted) as exc:
+        pool.allocate_line()
+    assert exc.value.max_pages == 1
+    assert exc.value.live_lines == 2
