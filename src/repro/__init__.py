@@ -32,8 +32,20 @@ be checked by the atomicity oracle::
         ExperimentSpec("genome", fault_plan="table-squeeze", check=True)
     )
     assert result.oracle["passed"]
+
+Observability: arm a :class:`Tracer` for structured events and
+per-phase isolation-window accounting (zero-overhead when disabled)::
+
+    from repro import ExperimentSpec, Tracer, execute_spec
+
+    tracer = Tracer(events=True)
+    result = execute_spec(ExperimentSpec("intruder"), trace=tracer)
+    print(result.phase_breakdown["isolation"])
+    tracer.write_chrome_trace("trace.json")   # chrome://tracing
 """
 
+from repro.bench import compare as compare_bench
+from repro.bench import run_bench
 from repro.config import SimConfig, default_config
 from repro.errors import (
     BudgetExhausted,
@@ -65,10 +77,12 @@ from repro.runner import (
     run_experiment,
     run_matrix,
 )
+from repro.provenance import provenance
 from repro.simulator import SimResult, Simulator
 from repro.stats.breakdown import Breakdown
+from repro.trace import LatencyHistogram, Tracer
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArtifactStore",
@@ -80,6 +94,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InvariantViolation",
+    "LatencyHistogram",
     "OracleRecorder",
     "OracleViolation",
     "PoolExhausted",
@@ -92,14 +107,18 @@ __all__ = [
     "SimResult",
     "SimulationError",
     "Simulator",
+    "Tracer",
     "TransactionError",
     "available_schemes",
     "check_run",
+    "compare_bench",
     "default_config",
     "execute_spec",
     "list_presets",
     "parse_plan",
+    "provenance",
     "register_scheme",
+    "run_bench",
     "run_experiment",
     "run_matrix",
     "__version__",

@@ -1,0 +1,184 @@
+"""Host-performance benchmark with a regression gate.
+
+``repro bench`` runs a *pinned* matrix of tiny-scale experiments
+serially (no cache, no pool — measured work only) and records, per
+entry:
+
+* **fidelity metrics** — simulated cycles, commits, aborts and the
+  isolation-window accounting.  These are seed-deterministic and must
+  match a baseline *exactly*: a difference means the simulator's
+  behaviour changed, which a performance PR must not do silently.
+* **host metrics** — wall-clock seconds, simulated events per second
+  and transactions per second.  These vary across machines and loads,
+  so :func:`compare` judges them leniently (default 25%) and only in
+  the slower direction, after normalizing by a calibration probe.
+
+The output file is schema-versioned (``BENCH_SCHEMA_VERSION``) and
+named ``BENCH_<date>.json``; ``repro compare-bench`` diffs two such
+files and exits non-zero past the thresholds, which is the CI gate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import time
+from pathlib import Path
+
+from repro.provenance import provenance
+from repro.runner.executor import execute_spec
+from repro.runner.spec import ExperimentSpec
+
+#: bump when the BENCH file layout changes incompatibly
+BENCH_SCHEMA_VERSION = 1
+
+#: the pinned matrix: small enough for CI, wide enough to cover an
+#: undo-log scheme, an L1-pinned scheme and the paper's SUV
+BENCH_WORKLOADS = ("ssca2", "synthetic")
+BENCH_SCHEMES = ("logtm-se", "fastm", "suv")
+BENCH_SEED = 3
+BENCH_CORES = 4
+
+#: fidelity keys compared exactly (per entry)
+FIDELITY_KEYS = ("total_cycles", "commits", "aborts")
+
+
+def bench_specs(scale: str = "tiny") -> list[ExperimentSpec]:
+    """The pinned spec matrix at ``scale``."""
+    return [
+        ExperimentSpec(
+            workload=workload,
+            scheme=scheme,
+            scale=scale,
+            seed=BENCH_SEED,
+            cores=BENCH_CORES,
+        )
+        for workload in BENCH_WORKLOADS
+        for scheme in BENCH_SCHEMES
+    ]
+
+
+def calibrate(iterations: int = 2_000_000) -> float:
+    """Seconds a fixed pure-python loop takes on this host.
+
+    Benchmarks run on heterogeneous machines (laptops, CI runners);
+    dividing wall times by this probe before comparing factors the raw
+    host speed out, leaving mostly *code* slowdowns to trip the gate.
+    """
+    best = float("inf")
+    for _ in range(3):
+        acc = 0
+        start = time.perf_counter()
+        for i in range(iterations):
+            acc += i & 7
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench(scale: str = "tiny", calibration: bool = True) -> dict:
+    """Run the pinned matrix; returns the schema-versioned document."""
+    entries = []
+    for spec in bench_specs(scale):
+        start = time.perf_counter()
+        result = execute_spec(spec)
+        wall = time.perf_counter() - start
+        txs = result.commits
+        entries.append({
+            "label": spec.label(),
+            "workload": spec.workload,
+            "scheme": spec.scheme,
+            "seed": spec.seed,
+            "cores": spec.cores,
+            "scale": spec.scale,
+            # fidelity (exact-match across hosts)
+            "total_cycles": result.total_cycles,
+            "commits": result.commits,
+            "aborts": result.aborts,
+            "phase_breakdown": result.phase_breakdown,
+            # host performance (lenient-match)
+            "wall_s": round(wall, 6),
+            "events_per_s": round(result.events_executed / wall, 1),
+            "txs_per_s": round(txs / wall, 1),
+        })
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scale": scale,
+        "calibration_s": round(calibrate(), 6) if calibration else None,
+        "provenance": provenance(),
+        "entries": entries,
+    }
+
+
+def write_bench(doc: dict, out_dir: str | Path, date: str | None = None) -> Path:
+    """Write ``doc`` as ``<out_dir>/BENCH_<date>.json``; returns the path."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    stamp = date or datetime.date.today().isoformat()
+    path = out / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Load and schema-check one BENCH file."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r}, "
+            f"this build reads {BENCH_SCHEMA_VERSION}"
+        )
+    return doc
+
+
+def _calibrated_wall(entry: dict, doc: dict) -> float:
+    """Wall seconds normalized by the document's calibration probe."""
+    wall = float(entry["wall_s"])
+    probe = doc.get("calibration_s")
+    if probe:
+        return wall / float(probe)
+    return wall
+
+
+def compare(
+    baseline: dict, current: dict, wall_threshold: float = 0.25
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    Fidelity metrics must match exactly; calibrated wall time may only
+    be slower by ``wall_threshold`` (fraction).  Entries present in one
+    document only are reported too — a silently shrunk matrix must not
+    look like a pass.
+    """
+    problems: list[str] = []
+    base_by = {e["label"]: e for e in baseline.get("entries", ())}
+    cur_by = {e["label"]: e for e in current.get("entries", ())}
+    for label in sorted(base_by.keys() - cur_by.keys()):
+        problems.append(f"{label}: missing from current run")
+    for label in sorted(cur_by.keys() - base_by.keys()):
+        problems.append(f"{label}: missing from baseline")
+    for label in sorted(base_by.keys() & cur_by.keys()):
+        base, cur = base_by[label], cur_by[label]
+        for key in FIDELITY_KEYS:
+            if base.get(key) != cur.get(key):
+                problems.append(
+                    f"{label}: {key} changed "
+                    f"{base.get(key)} -> {cur.get(key)} (must match exactly)"
+                )
+        base_iso = (base.get("phase_breakdown") or {}).get("isolation")
+        cur_iso = (cur.get("phase_breakdown") or {}).get("isolation")
+        if base_iso is not None and base_iso != cur_iso:
+            problems.append(
+                f"{label}: isolation-window accounting changed "
+                f"{base_iso} -> {cur_iso} (must match exactly)"
+            )
+        base_wall = _calibrated_wall(base, baseline)
+        cur_wall = _calibrated_wall(cur, current)
+        if base_wall > 0 and cur_wall > base_wall * (1.0 + wall_threshold):
+            problems.append(
+                f"{label}: calibrated wall time regressed "
+                f"{base_wall:.3f} -> {cur_wall:.3f} "
+                f"(+{cur_wall / base_wall - 1.0:.0%}, "
+                f"threshold {wall_threshold:.0%})"
+            )
+    return problems

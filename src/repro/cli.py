@@ -11,6 +11,10 @@ Commands:
   processes, with on-disk result caching.
 * ``faults`` — run a fault-injection campaign (schemes × workloads ×
   fault plans) with the atomicity oracle enabled on every run.
+* ``bench`` — run the pinned host-performance matrix and write a
+  schema-versioned ``BENCH_<date>.json``.
+* ``compare-bench`` — diff two BENCH files; exits non-zero past the
+  regression thresholds (the CI gate).
 * ``hwcost`` — print the Table VII / Section V-C hardware-cost report.
 * ``list`` — list workloads, schemes and fault-plan presets.
 
@@ -40,7 +44,11 @@ from repro.runner import (
     run_matrix,
 )
 from repro.simulator import SimResult
-from repro.stats.report import format_breakdown_table, format_table
+from repro.stats.report import (
+    format_breakdown_table,
+    format_phase_table,
+    format_table,
+)
 from repro.workloads import WORKLOAD_NAMES
 
 SCHEMES = available_schemes()
@@ -93,7 +101,21 @@ def _run_specs(args: argparse.Namespace, specs: list[ExperimentSpec]) -> list[Si
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    res = _run_one(args, args.scheme)
+    if args.trace:
+        from repro.runner import execute_spec
+        from repro.trace import Tracer
+
+        tracer = Tracer(events=True)
+        res = execute_spec(_spec_from_args(args, args.scheme), trace=tracer)
+        if args.trace_format == "chrome":
+            tracer.write_chrome_trace(args.trace)
+        else:
+            tracer.write_jsonl(args.trace)
+        print(f"trace: {res.phase_breakdown['events']['recorded']} events "
+              f"({res.phase_breakdown['events']['dropped']} dropped) "
+              f"-> {args.trace} [{args.trace_format}]")
+    else:
+        res = _run_one(args, args.scheme)
     print(f"{args.workload} under {args.scheme}: "
           f"{res.total_cycles:,} cycles, {res.commits} commits, "
           f"{res.aborts} aborts (ratio {res.abort_ratio:.1%}), "
@@ -110,6 +132,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     rows = [(k, v, f"{res.breakdown.fraction(k):.1%}")
             for k, v in res.breakdown.as_dict().items()]
     print(format_table(["component", "cycles", "share"], rows))
+    if res.phase_breakdown:
+        print()
+        print(format_phase_table({args.scheme: res.phase_breakdown}))
     if args.stats:
         stats = [(k, v) for k, v in sorted(res.scheme_stats.items()) if v]
         print()
@@ -294,6 +319,57 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the pinned benchmark matrix and write ``BENCH_<date>.json``.
+
+    Per entry: fidelity metrics (simulated cycles/commits/aborts and
+    the isolation-window accounting, seed-deterministic) plus host
+    throughput (wall seconds, events/s, txs/s).  Gate with
+    ``repro compare-bench``.
+    """
+    from repro.bench import run_bench, write_bench
+
+    doc = run_bench(scale=args.scale)
+    path = write_bench(doc, args.out)
+    rows = [
+        [e["label"], f"{e['total_cycles']:,}", e["commits"], e["aborts"],
+         f"{e['wall_s']:.3f}", f"{e['events_per_s']:,.0f}",
+         f"{e['txs_per_s']:,.0f}"]
+        for e in doc["entries"]
+    ]
+    print(format_table(
+        ["run", "cycles", "commits", "aborts", "wall (s)", "events/s",
+         "txs/s"],
+        rows,
+        title=f"bench — scale {args.scale}, "
+              f"calibration {doc['calibration_s']:.3f}s",
+    ))
+    print()
+    print(format_phase_table({
+        e["label"]: e["phase_breakdown"] for e in doc["entries"]
+    }))
+    print()
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_compare_bench(args: argparse.Namespace) -> int:
+    """Diff two BENCH files; exit non-zero past the regression gate."""
+    from repro.bench import compare, load_bench
+
+    baseline = load_bench(args.baseline)
+    current = load_bench(args.current)
+    problems = compare(baseline, current, wall_threshold=args.wall_threshold)
+    if problems:
+        print(f"REGRESSION: {len(problems)} problem(s) vs {args.baseline}")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"ok: {len(current.get('entries', ()))} entries within "
+          f"{args.wall_threshold:.0%} of {args.baseline}")
+    return 0
+
+
 def cmd_hwcost(args: argparse.Namespace) -> int:
     from repro.hwcost.cacti import CactiLite
     from repro.hwcost.storage import suv_overhead_report
@@ -361,6 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload", choices=_WORKLOAD_CHOICES)
     p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
     p.add_argument("--stats", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record the event trace to PATH (bypasses the "
+                        "result cache)")
+    p.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                   default="chrome",
+                   help="chrome = load in chrome://tracing / Perfetto; "
+                        "jsonl = one event object per line")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
 
@@ -445,6 +528,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=0,
                    help="worker processes (0 = auto, at least 2)")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark matrix, write BENCH_<date>.json",
+    )
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="tiny")
+    p.add_argument("--out", default="benchmarks/results",
+                   help="directory for the BENCH_<date>.json file")
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "compare-bench",
+        help="diff two BENCH files; non-zero exit on regression",
+    )
+    p.add_argument("baseline", help="baseline BENCH_*.json")
+    p.add_argument("current", help="candidate BENCH_*.json")
+    p.add_argument("--wall-threshold", type=float, default=0.25,
+                   help="tolerated calibrated wall-time slowdown "
+                        "(fraction; fidelity metrics always exact)")
+    p.set_defaults(fn=cmd_compare_bench)
 
     p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
     p.set_defaults(fn=cmd_hwcost)

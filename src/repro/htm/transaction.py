@@ -54,6 +54,9 @@ class TxFrame:
     #: atomicity-oracle operation log: ("r"|"w", addr, value) in program
     #: order; populated only when an OracleRecorder is attached.
     oracle_ops: list = field(default_factory=list)
+    #: zero-based attempt number of this frame (bumped on every retry);
+    #: lets trace events name an attempt as (tid, site, attempt).
+    attempt: int = 0
 
     @classmethod
     def create(
@@ -111,6 +114,7 @@ class TxFrame:
         self.start_time = now
         self.vm.clear()
         self.oracle_ops.clear()
+        self.attempt += 1
 
     # conflict membership tests ----------------------------------------
     def may_read_conflict(self, line: int) -> bool:

@@ -22,6 +22,7 @@ from typing import Callable
 from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.trace import Tracer
 
 #: base of the per-core undo-log regions (private, never shared)
 LOG_REGION_BASE = 1 << 41
@@ -67,6 +68,9 @@ class VersionManager(ABC):
         self.hierarchy = hierarchy
         self.n_cores = config.n_cores
         self.stats = VMStats()
+        #: the run's tracer, installed by the simulator via
+        #: :meth:`attach_trace`; ``None`` for standalone scheme objects
+        self.trace: Tracer | None = None
         # per-core undo-log cursors (line indices), used by the schemes
         # that keep a log (LogTM-SE always, FasTM on overflow)
         self._log_base = [
@@ -74,6 +78,10 @@ class VersionManager(ABC):
             for core in range(config.n_cores)
         ]
         self._log_cursor = list(self._log_base)
+
+    def attach_trace(self, tracer: Tracer) -> None:
+        """Install the run's tracer (composite schemes propagate it)."""
+        self.trace = tracer
 
     # -- transaction lifecycle ------------------------------------------
     def on_begin(self, core: int, frame: TxFrame) -> int:

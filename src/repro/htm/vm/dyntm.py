@@ -53,6 +53,13 @@ class DynTM(VersionManager):
         self._threshold = config.dyntm.lazy_threshold
         self.stats.extra.update(eager_attempts=0, lazy_attempts=0)
 
+    def attach_trace(self, tracer) -> None:
+        super().attach_trace(tracer)
+        # the delegated VMs emit their own events (FLASH_ABORT, PUBLISH,
+        # table traffic); without this they would stay silent
+        self.eager.attach_trace(tracer)
+        self.lazy.attach_trace(tracer)
+
     # -- mode selection ---------------------------------------------------
     def mode_for(self, core: int, site: int) -> str:
         if self._counters.get(site, 0) >= self._threshold:

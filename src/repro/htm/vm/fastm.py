@@ -18,6 +18,7 @@ from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.trace import FLASH_ABORT
 
 
 @register_scheme("fastm")
@@ -92,6 +93,12 @@ class FasTM(VersionManager):
             latency += self.config.htm.abort_trap_cycles
             latency += self._log_walk_restore(core, overflowed)
         self._log_reset(core, len(overflowed))
+        tr = self.trace
+        if tr is not None and tr.events is not None:
+            # the gang-invalidate is near-instant unless lines overflowed
+            # into the undo log, in which case the walk dominates
+            tr.emit(tr.clock.now, FLASH_ABORT, core,
+                    data={"overflowed": len(overflowed), "cycles": latency})
         return latency
 
     def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:

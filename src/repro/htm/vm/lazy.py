@@ -23,6 +23,7 @@ from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.trace import PUBLISH
 
 
 @register_scheme("lazy")
@@ -107,6 +108,14 @@ class LazyVM(VersionManager):
                     self.config.l2.latency
                 )
         self.hierarchy.drop_speculative(core, invalidate=False)
+        tr = self.trace
+        if tr is not None and tr.events is not None:
+            # the merge pathology: the window stays open for `cycles`
+            # while every written line is published one by one
+            tr.emit(tr.clock.now, PUBLISH, core,
+                    data={"lines": len(frame.vm.get("spec_lines", ())),
+                          "redirect": self.publish_by_redirect,
+                          "cycles": latency})
         return latency
 
     def abort(self, core: int, frame: TxFrame, outermost: bool) -> int:

@@ -14,6 +14,7 @@ from repro.config import SimConfig
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.trace import LOG_WALK
 
 
 @register_scheme("logtm-se", "logtmse", "logtm")
@@ -58,6 +59,12 @@ class LogTMSE(VersionManager):
         latency = self.config.htm.abort_trap_cycles
         latency += self._log_walk_restore(core, order)
         self._log_reset(core, len(order))
+        tr = self.trace
+        if tr is not None and tr.events is not None:
+            # the repair pathology, event by event: the undo walk keeps
+            # the window open for `cycles` after the abort decision
+            tr.emit(tr.clock.now, LOG_WALK, core,
+                    data={"records": len(order), "cycles": latency})
         return latency
 
     def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:

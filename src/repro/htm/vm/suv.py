@@ -33,6 +33,14 @@ from repro.core.summary import RedirectSummaryFilter
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, register_scheme
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.trace import (
+    POOL_ALLOC,
+    POOL_RECLAIM,
+    SIG_TEST,
+    TABLE_HIT,
+    TABLE_MISS,
+    TABLE_SPILL,
+)
 
 
 @register_scheme("suv")
@@ -70,8 +78,17 @@ class SUV(VersionManager):
     # ------------------------------------------------------------------
     def _consult_table(self, core: int, line: int) -> tuple[RedirectEntry | None, int]:
         """Summary-filtered table lookup; returns (entry, extra cycles)."""
+        tr = self.trace
+        events = tr is not None and tr.events is not None
         if not self.summary.might_be_redirected(line):
+            if events:
+                tr.emit(tr.clock.now, SIG_TEST, core,
+                        data={"line": line, "maybe": False})
             return None, 0
+        if events:
+            tr.emit(tr.clock.now, SIG_TEST, core,
+                    data={"line": line, "maybe": True})
+            spills_before = self.table.l2_overflows
         res = self.table.lookup(core, line)
         extra = res.latency
         if res.entry is None:
@@ -80,6 +97,19 @@ class SUV(VersionManager):
             # we speculated with the original address and were wrong
             self.stats.extra["misspeculations"] += 1
             extra += self.config.redirect.misspeculation_penalty
+        if tr is not None:
+            tr.note_table_lookup(extra)
+            if events:
+                kind = TABLE_MISS if res.entry is None else TABLE_HIT
+                tr.emit(tr.clock.now, kind, core,
+                        data={"line": line, "level": res.level,
+                              "cycles": extra})
+                spilled = self.table.l2_overflows - spills_before
+                if spilled:
+                    # the lookup's promotions pushed entries out of the
+                    # hardware levels into the software overflow area
+                    tr.emit(tr.clock.now, TABLE_SPILL, core,
+                            data={"entries": spilled})
         return res.entry, extra
 
     #: committed entries reclaimed per software pass on pool exhaustion
@@ -100,8 +130,13 @@ class SUV(VersionManager):
         transaction's own pool lines, so a retry (after neighbours
         commit) can succeed.
         """
+        tr = self.trace
+        events = tr is not None and tr.events is not None
         try:
-            return self.pool.allocate_line(), 0
+            line = self.pool.allocate_line()
+            if events:
+                tr.emit(tr.clock.now, POOL_ALLOC, data={"pool_line": line})
+            return line, 0
         except PoolExhausted:
             pass
         freed = self._reclaim_committed()
@@ -109,9 +144,15 @@ class SUV(VersionManager):
             # software handler: table/summary surgery plus one line copy
             # back to the original address per reclaimed entry
             cost = self.config.redirect.software_overhead + freed * self.COPY_CYCLES
-            return self.pool.allocate_line(), cost
+            line = self.pool.allocate_line()
+            if events:
+                tr.emit(tr.clock.now, POOL_ALLOC,
+                        data={"pool_line": line, "after_reclaim": True})
+            return line, cost
         self.stats.extra["pool_exhaustions"] += 1
         frame.vm["must_abort"] = "pool"
+        if events:
+            tr.emit(tr.clock.now, POOL_ALLOC, data={"exhausted": True})
         return None, 0
 
     def _reclaim_committed(self) -> int:
@@ -131,6 +172,9 @@ class SUV(VersionManager):
             self.pool.free_line(entry.redirected_line)
             freed += 1
         self.stats.extra["pool_reclaims"] += freed
+        tr = self.trace
+        if freed and tr is not None and tr.events is not None:
+            tr.emit(tr.clock.now, POOL_RECLAIM, data={"freed": freed})
         return freed
 
     @staticmethod
@@ -219,7 +263,14 @@ class SUV(VersionManager):
             return extra, line
         self.stats.extra["redirects"] += 1
         new_entry = RedirectEntry(line, new_line, EntryState.LOCAL_VALID, owner=core)
+        spills_before = self.table.l2_overflows
         self.table.insert(core, new_entry)
+        tr = self.trace
+        if tr is not None and tr.events is not None:
+            spilled = self.table.l2_overflows - spills_before
+            if spilled:
+                tr.emit(tr.clock.now, TABLE_SPILL, core,
+                        data={"entries": spilled})
         actions.append(("new", new_entry, None))
         targets[line] = new_line
         # the pool line is a fresh allocation: the store installs it in

@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
+from repro.provenance import provenance
 from repro.runner.spec import ExperimentSpec
 from repro.simulator import SimResult
 from repro.stats.export import result_to_dict
@@ -35,6 +36,7 @@ class ArtifactStore:
         record = {
             "spec_hash": spec.spec_hash(),
             "spec": spec.to_dict(),
+            "provenance": provenance(),
             "cached": cached,
             "attempts": attempts,
             "duration_s": round(duration_s, 6),

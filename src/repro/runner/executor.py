@@ -35,7 +35,7 @@ from repro.runner.spec import ExperimentSpec, RunMatrix
 from repro.simulator import SimResult, Simulator
 
 
-def execute_spec(spec: ExperimentSpec) -> SimResult:
+def execute_spec(spec: ExperimentSpec, trace: Any = None) -> SimResult:
     """Build and run the simulation a spec describes, in-process.
 
     ``spec.fault_plan`` arms a fault injector for the run;
@@ -43,6 +43,12 @@ def execute_spec(spec: ExperimentSpec) -> SimResult:
     :class:`~repro.errors.OracleViolation` on a violation) and attaches
     its report to the result.  Both happen here, inside the worker, so
     they behave identically in serial and process-pool execution.
+
+    ``trace`` (a :class:`~repro.trace.Tracer`, ``True``, or a ring
+    capacity) arms event tracing for the run; inspect it afterwards via
+    the returned result's ``phase_breakdown`` or the tracer object.
+    Tracing never changes simulated timing, so cached results stay
+    valid.
     """
     from repro.faults import parse_plan
     from repro.workloads import make_workload
@@ -62,6 +68,7 @@ def execute_spec(spec: ExperimentSpec) -> SimResult:
         seed=spec.seed,
         faults=parse_plan(spec.fault_plan),
         oracle=spec.check,
+        trace=trace,
     )
     result = sim.run(program.threads, max_events=spec.max_events)
     if spec.check:

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Callable
 
 from repro.errors import BudgetExhausted
 
@@ -35,6 +35,10 @@ class EventQueue:
         self._heap: list[Event] = []
         self._seq = 0
         self.now = 0
+        #: most events ever outstanding at once (includes cancelled
+        #: events awaiting pop) — a cheap queue-pressure gauge surfaced
+        #: on ``SimResult.phase_breakdown["kernel"]``
+        self.peak_queue = 0
 
     def __len__(self) -> int:
         return sum(1 for e in self._heap if not e.cancelled)
@@ -46,6 +50,8 @@ class EventQueue:
         ev = Event(self.now + int(delay), self._seq, fn)
         self._seq += 1
         heapq.heappush(self._heap, ev)
+        if len(self._heap) > self.peak_queue:
+            self.peak_queue = len(self._heap)
         return ev
 
     def at(self, time: int, fn: Callable[[], None]) -> Event:

@@ -49,6 +49,15 @@ from repro.oracle import OracleRecorder
 from repro.sim.kernel import Event, EventQueue
 from repro.sim.rng import RngStreams
 from repro.stats.breakdown import Breakdown
+from repro.trace import (
+    TX_ABORT,
+    TX_BEGIN,
+    TX_COMMIT,
+    TX_STALL,
+    TX_UNSTALL,
+    Tracer,
+    make_tracer,
+)
 
 # core statuses
 RUNNING = "running"
@@ -165,6 +174,9 @@ class SimResult:
     fault_trace: list[dict[str, Any]] = field(default_factory=list)
     #: atomicity-oracle report when the run was checked, else None
     oracle: dict[str, Any] | None = None
+    #: isolation-window accounting and latency percentiles (see
+    #: :meth:`repro.trace.Tracer.phase_breakdown`)
+    phase_breakdown: dict[str, Any] = field(default_factory=dict)
 
     @property
     def abort_ratio(self) -> float:
@@ -192,6 +204,7 @@ class SimResult:
             "context_switches": self.context_switches,
             "fault_trace": self.fault_trace,
             "oracle": self.oracle,
+            "phase_breakdown": self.phase_breakdown,
         }
 
     @classmethod
@@ -217,6 +230,7 @@ class SimResult:
             context_switches=int(data.get("context_switches", 0)),
             fault_trace=list(data.get("fault_trace", ())),
             oracle=data.get("oracle"),
+            phase_breakdown=dict(data.get("phase_breakdown", ())),
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -238,6 +252,7 @@ class Simulator:
         seed: int = 12345,
         faults: FaultPlan | FaultInjector | None = None,
         oracle: OracleRecorder | bool | None = None,
+        trace: Tracer | bool | int | None = None,
     ) -> None:
         self.config = config or SimConfig()
         self.queue = EventQueue()
@@ -248,6 +263,11 @@ class Simulator:
             self.scheme = scheme
         else:
             self.scheme = make_version_manager(scheme, self.config, self.hierarchy)
+        #: phase accounting is always on; event recording only when asked
+        #: (``trace=True``, a capacity, or a ready Tracer)
+        self.trace = make_tracer(trace)
+        self.trace.clock = self.queue  # schemes read .now for event stamps
+        self.scheme.attach_trace(self.trace)
         self.backoff = BackoffPolicy(self.config.htm, self.rng.stream("backoff"))
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults)
@@ -337,6 +357,13 @@ class Simulator:
                 breakdown.add(comp, amt)
             per_core.append(dict(core.comp))
         total = max((ctx.finish_time for ctx in self._ctxs), default=0)
+        phase = self.trace.phase_breakdown(
+            kernel={
+                "events": executed,
+                "peak_queue": self.queue.peak_queue,
+            }
+        )
+        phase["scheme"] = self.scheme.name
         return SimResult(
             scheme=self.scheme.name,
             total_cycles=total,
@@ -353,6 +380,7 @@ class Simulator:
             fault_trace=(
                 list(self.faults.trace) if self.faults is not None else []
             ),
+            phase_breakdown=phase,
         )
 
     def wait_graph_dump(self) -> list[dict[str, Any]]:
@@ -554,6 +582,11 @@ class Simulator:
         core.frames.append(frame)
         core.gen_stack.append(op.body())
         self.tx_attempts += 1 if depth == 0 else 0
+        if depth == 0 and self.trace.events is not None:
+            self.trace.emit(
+                self.queue.now, TX_BEGIN, core.idx, core.ctx.tid,
+                {"site": op.site, "attempt": frame.attempt, "mode": mode},
+            )
         cost = self.config.htm.checkpoint_cycles + self.scheme.on_begin(core.idx, frame)
         frame.tentative_cycles += cost
         self._resume_after(core, cost)
@@ -616,6 +649,10 @@ class Simulator:
         # an open-nested commit publishes like an outermost one
         publishes = outermost or frame.open_nested
         latency = self.scheme.commit(core.idx, frame, publishes)
+        if outermost:
+            # commit processing happens with the signatures still armed:
+            # these cycles are the tail of the isolation window
+            self.trace.note_commit(latency)
         core.charge("Committing", latency)
         core.status = COMMITTING
         self.queue.schedule(latency, lambda: self._finish_commit(core, tx_value))
@@ -626,6 +663,17 @@ class Simulator:
         if self._lazy_commit_holder == core.idx:
             self._lazy_commit_holder = None
         if frame.depth == 0:
+            # the isolation window closes here: signatures disarm only
+            # once commit processing (repair/merge/bit-flip) finished
+            self.trace.note_window(
+                self.queue.now - frame.start_time, committed=True
+            )
+            if self.trace.events is not None:
+                self.trace.emit(
+                    self.queue.now, TX_COMMIT, core.idx, core.ctx.tid,
+                    {"site": frame.site, "attempt": frame.attempt,
+                     "writes": len(frame.write_lines)},
+                )
             # publish and release isolation
             self.memory.bulk_store(frame.write_buffer)
             if self.oracle is not None:
@@ -680,6 +728,8 @@ class Simulator:
                 core.idx, frame, outermost=(frame.depth == depth)
             )
             core.charge("Wasted", frame.tentative_cycles)
+        # rollback processing keeps the window open (repair pathology)
+        self.trace.note_abort(latency)
         core.charge("Aborting", latency)
         core.status = ABORTING
         self.aborts += 1
@@ -687,6 +737,17 @@ class Simulator:
 
     def _finish_abort(self, core: _Core, depth: int) -> None:
         retry_frame = core.frames[depth]
+        if depth == 0:
+            # the aborted attempt's isolation window closes with the
+            # end of abort processing; the retry opens a fresh one
+            self.trace.note_window(
+                self.queue.now - retry_frame.start_time, committed=False
+            )
+            if self.trace.events is not None:
+                self.trace.emit(
+                    self.queue.now, TX_ABORT, core.idx, core.ctx.tid,
+                    {"site": retry_frame.site, "attempt": retry_frame.attempt},
+                )
         self.scheme.note_outcome(core.idx, retry_frame, committed=False)
         # compensations owed by committed open-nested children of the
         # aborted attempt run as a prologue of the retry
@@ -717,6 +778,15 @@ class Simulator:
             # re-select the execution mode (DynTM may flip eager↔lazy);
             # the timestamp is kept so older transactions keep priority
             frame.mode = self.scheme.mode_for(core.idx, frame.site)
+            # the retry's isolation window opens now — backoff cycles
+            # (signatures clear, nobody blocked) are not window time
+            frame.start_time = self.queue.now
+            if self.trace.events is not None:
+                self.trace.emit(
+                    self.queue.now, TX_BEGIN, core.idx, core.ctx.tid,
+                    {"site": frame.site, "attempt": frame.attempt,
+                     "mode": frame.mode},
+                )
         self.tx_attempts += 1 if depth == 0 else 0
         if frame.pending_compensations:
             original = frame.body_factory
@@ -979,6 +1049,12 @@ class Simulator:
         core.pending_op = op
         core.waiting_on = holder_idx
         core.stall_start = self.queue.now
+        if self.trace.events is not None:
+            self.trace.emit(
+                self.queue.now, TX_STALL, core.idx,
+                core.ctx.tid if core.ctx is not None else -1,
+                {"holder": holder_idx},
+            )
         holder.waiters.add(core.idx)
         period = self.config.htm.stall_retry_period
         if self.faults is not None:
@@ -989,6 +1065,12 @@ class Simulator:
 
     def _unstall(self, core: _Core) -> None:
         core.charge("Stalled", self.queue.now - core.stall_start)
+        if self.trace.events is not None:
+            self.trace.emit(
+                self.queue.now, TX_UNSTALL, core.idx,
+                core.ctx.tid if core.ctx is not None else -1,
+                {"waited": self.queue.now - core.stall_start},
+            )
         if core.retry_event is not None:
             core.retry_event.cancel()
             core.retry_event = None
@@ -1009,6 +1091,13 @@ class Simulator:
             if waiter.status != STALLED or waiter.waiting_on != core.idx:
                 continue
             waiter.charge("Stalled", self.queue.now - waiter.stall_start)
+            if self.trace.events is not None:
+                self.trace.emit(
+                    self.queue.now, TX_UNSTALL, waiter.idx,
+                    waiter.ctx.tid if waiter.ctx is not None else -1,
+                    {"waited": self.queue.now - waiter.stall_start,
+                     "woken_by": core.idx},
+                )
             if waiter.retry_event is not None:
                 waiter.retry_event.cancel()
                 waiter.retry_event = None

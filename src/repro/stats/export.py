@@ -22,6 +22,7 @@ def result_to_dict(result: SimResult, include_memory: bool = False) -> dict:
         "context_switches": result.context_switches,
         "events_executed": result.events_executed,
         "scheme_stats": {k: float(v) for k, v in result.scheme_stats.items()},
+        "phase_breakdown": result.phase_breakdown,
     }
     if include_memory:
         out["memory"] = {str(k): v for k, v in result.memory.items()}

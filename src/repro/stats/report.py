@@ -34,6 +34,50 @@ def _fmt(cell: object) -> str:
     return str(cell)
 
 
+def format_phase_table(
+    phases: dict[str, dict],
+    title: str = "Isolation windows",
+) -> str:
+    """Render per-scheme isolation-window accounting side by side.
+
+    ``phases`` maps a label (scheme name) to a
+    :meth:`repro.trace.Tracer.phase_breakdown` dict.  One row per
+    scheme: window counts, mean/max open span, the commit- and
+    abort-processing shares of those spans (the paper's Figure 1
+    pathologies), and commit/abort latency percentiles.
+    """
+    if not phases:
+        return "(no results)"
+    headers = [
+        "scheme", "windows", "committed", "aborted",
+        "open(mean)", "open(max)", "commit cyc", "abort cyc",
+        "commit p50/p95/max", "abort p50/p95/max",
+    ]
+    rows = []
+    for label, pb in phases.items():
+        iso = pb.get("isolation", {})
+        lat = pb.get("latency", {})
+        rows.append([
+            label,
+            iso.get("windows", 0),
+            iso.get("committed", 0),
+            iso.get("aborted", 0),
+            f"{iso.get('open_cycles_mean', 0.0):.1f}",
+            iso.get("open_cycles_max", 0),
+            iso.get("commit_processing_cycles", 0),
+            iso.get("abort_processing_cycles", 0),
+            _pctl(lat.get("commit", {})),
+            _pctl(lat.get("abort", {})),
+        ])
+    return format_table(headers, rows, title=title)
+
+
+def _pctl(hist: dict) -> str:
+    if not hist.get("count"):
+        return "-"
+    return f"{hist.get('p50', 0)}/{hist.get('p95', 0)}/{hist.get('max', 0)}"
+
+
 def format_breakdown_table(
     results: dict[str, Breakdown],
     baseline: str | None = None,

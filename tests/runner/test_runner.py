@@ -132,6 +132,18 @@ def test_artifacts_written_per_outcome(tmp_path):
     assert records[0]["result"]["commits"] >= 0
 
 
+def test_artifacts_record_provenance(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    Runner(max_workers=1, retries=0, artifacts=path).run([TINY])
+    from repro.runner import ArtifactStore
+
+    record = ArtifactStore(path).load()[0]
+    prov = record["provenance"]
+    assert prov["python"] and prov["repro_version"]
+    # inside this repo the revision resolves; outside it would be None
+    assert "git_revision" in prov and "git_dirty" in prov
+
+
 def test_progress_callable_sees_every_run():
     lines = []
     runner = Runner(max_workers=1, retries=0, progress=lines.append)

@@ -1,0 +1,244 @@
+"""Tests for the event-tracing / phase-accounting subsystem."""
+
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.htm.ops import Tx, Write
+from repro.simulator import Simulator
+from repro.trace import (
+    EVENT_KINDS,
+    TX_BEGIN,
+    TX_COMMIT,
+    LatencyHistogram,
+    Tracer,
+    make_tracer,
+)
+from repro.workloads import make_workload
+
+ALL_SCHEMES = ("logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv")
+
+
+def run_synthetic(scheme, trace=None, seed=3):
+    program = make_workload("synthetic", n_threads=4, seed=seed, scale="tiny")
+    sim = Simulator(SimConfig(n_cores=4), scheme=scheme, seed=seed,
+                    trace=trace)
+    return sim, sim.run(program.threads)
+
+
+# -- LatencyHistogram --------------------------------------------------
+
+
+def test_histogram_empty():
+    h = LatencyHistogram()
+    d = h.as_dict()
+    assert d["count"] == 0 and d["max"] == 0
+
+
+def test_histogram_exact_max_and_mean():
+    h = LatencyHistogram()
+    for v in (1, 2, 3, 10):
+        h.record(v)
+    d = h.as_dict()
+    assert d["count"] == 4
+    assert d["max"] == 10
+    assert d["total"] == 16
+    assert d["mean"] == 4.0
+
+
+def test_histogram_percentiles_bounded_by_max():
+    h = LatencyHistogram()
+    for v in (5, 5, 5, 1000):
+        h.record(v)
+    # p50 falls in the bucket holding 5 (upper bound 7)
+    assert h.percentile(0.5) in (5, 7)
+    # percentiles never exceed the observed maximum
+    assert h.percentile(0.99) <= 1000
+
+
+def test_histogram_merge_matches_combined():
+    a, b, c = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+    for v in (1, 8, 64):
+        a.record(v)
+        c.record(v)
+    for v in (2, 2048):
+        b.record(v)
+        c.record(v)
+    a.merge(b)
+    assert a.as_dict() == c.as_dict()
+
+
+def test_histogram_huge_values_clamp_to_last_bucket():
+    h = LatencyHistogram()
+    h.record(1 << 60)
+    assert h.as_dict()["count"] == 1
+    assert h.as_dict()["max"] == 1 << 60
+
+
+# -- Tracer basics -----------------------------------------------------
+
+
+def test_metrics_only_tracer_records_no_events():
+    t = Tracer()
+    assert t.events is None
+    t.note_window(10, committed=True)
+    assert t.windows == 1
+    assert t.phase_breakdown()["events"]["recorded"] == 0
+
+
+def test_ring_buffer_bounded_and_counts_drops():
+    t = Tracer(events=True, capacity=4)
+    for i in range(10):
+        t.emit(i, TX_BEGIN, core=0)
+    rows = list(t.iter_events())
+    assert len(rows) == 4
+    assert t.dropped == 6
+    # oldest events were dropped, newest kept
+    assert [r["ts"] for r in rows] == [6, 7, 8, 9]
+
+
+def test_make_tracer_normalization():
+    assert make_tracer(None).events is None
+    assert make_tracer(False).events is None
+    assert make_tracer(True).events is not None
+    custom = Tracer(events=True, capacity=2)
+    assert make_tracer(custom) is custom
+    sized = make_tracer(8)
+    assert sized.events is not None and sized.events.maxlen == 8
+
+
+def test_event_kinds_are_unique():
+    assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+# -- simulator integration ---------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_tracing_does_not_change_simulated_time(scheme):
+    _, plain = run_synthetic(scheme)
+    _, traced = run_synthetic(scheme, trace=True)
+    assert traced.total_cycles == plain.total_cycles
+    assert traced.commits == plain.commits
+    assert traced.aborts == plain.aborts
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_trace_is_seed_deterministic(scheme):
+    sim1, _ = run_synthetic(scheme, trace=True)
+    sim2, _ = run_synthetic(scheme, trace=True)
+    assert sim1.trace.to_jsonl() == sim2.trace.to_jsonl()
+
+
+def test_phase_breakdown_shape():
+    _, res = run_synthetic("suv", trace=True)
+    pb = res.phase_breakdown
+    assert pb["scheme"] == "suv"
+    iso = pb["isolation"]
+    assert iso["windows"] == iso["committed"] + iso["aborted"]
+    assert iso["committed"] == res.commits
+    assert iso["aborted"] == res.aborts
+    assert iso["open_cycles_max"] >= iso["open_cycles_mean"] > 0
+    assert set(pb["latency"]) == {"window", "commit", "abort",
+                                  "table_lookup"}
+    assert pb["latency"]["commit"]["count"] == res.commits
+    assert pb["kernel"]["events"] == res.events_executed
+    assert pb["kernel"]["peak_queue"] > 0
+    assert pb["events"]["recorded"] > 0
+
+
+def test_phase_breakdown_present_without_event_tracing():
+    _, res = run_synthetic("suv")
+    pb = res.phase_breakdown
+    assert pb["isolation"]["windows"] > 0
+    assert pb["events"]["recorded"] == 0
+
+
+def test_phase_breakdown_survives_simresult_roundtrip():
+    from repro.simulator import SimResult
+
+    _, res = run_synthetic("suv", trace=True)
+    again = SimResult.from_json(res.to_json())
+    assert again.phase_breakdown == res.phase_breakdown
+
+
+def test_tx_events_balanced():
+    sim, res = run_synthetic("logtm-se", trace=True)
+    kinds = [row["kind"] for row in sim.trace.iter_events()]
+    begins = kinds.count("tx_begin")
+    ends = kinds.count("tx_commit") + kinds.count("tx_abort")
+    assert begins == ends == res.commits + res.aborts
+
+
+def test_dyntm_propagates_tracer_to_sub_vms():
+    sim, _ = run_synthetic("dyntm+suv", trace=True)
+    assert sim.scheme.eager.trace is sim.trace
+    assert sim.scheme.lazy.trace is sim.trace
+
+
+def test_scheme_specific_events_present():
+    sim, _ = run_synthetic("logtm-se", trace=True)
+    kinds = {row["kind"] for row in sim.trace.iter_events()}
+    assert "log_walk" in kinds
+    sim, _ = run_synthetic("fastm", trace=True)
+    kinds = {row["kind"] for row in sim.trace.iter_events()}
+    assert "flash_abort" in kinds
+    sim, _ = run_synthetic("suv", trace=True)
+    kinds = {row["kind"] for row in sim.trace.iter_events()}
+    assert "sig_test" in kinds and "pool_alloc" in kinds
+    sim, _ = run_synthetic("lazy", trace=True)
+    kinds = {row["kind"] for row in sim.trace.iter_events()}
+    assert "publish" in kinds
+
+
+# -- exports -----------------------------------------------------------
+
+
+def test_jsonl_export_parses_line_per_event(tmp_path):
+    sim, res = run_synthetic("suv", trace=True)
+    path = tmp_path / "trace.jsonl"
+    sim.trace.write_jsonl(path)
+    lines = path.read_text().splitlines()
+    assert len(lines) == res.phase_breakdown["events"]["recorded"]
+    for line in lines[:20]:
+        row = json.loads(line)
+        assert row["kind"] in EVENT_KINDS
+        assert row["ts"] >= 0
+
+
+def test_chrome_trace_spans_balanced(tmp_path):
+    sim, _ = run_synthetic("suv", trace=True)
+    path = tmp_path / "trace.json"
+    sim.trace.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    begins = sum(1 for e in events if e["ph"] == "B")
+    ends = sum(1 for e in events if e["ph"] == "E")
+    assert begins == ends > 0
+    # core -> tid mapping present on the duration events
+    assert all("tid" in e for e in events if e["ph"] in "BE")
+
+
+def test_single_tx_window_accounting():
+    def thread():
+        def body():
+            yield Write(0x100, 5)
+        yield Tx(body)
+
+    sim = Simulator(SimConfig(n_cores=2), scheme="suv", trace=True)
+    res = sim.run([thread])
+    iso = res.phase_breakdown["isolation"]
+    assert iso == {
+        "windows": 1,
+        "committed": 1,
+        "aborted": 0,
+        "open_cycles_total": iso["open_cycles_total"],
+        "open_cycles_max": iso["open_cycles_total"],
+        "open_cycles_mean": float(iso["open_cycles_total"]),
+        "commit_processing_cycles": iso["commit_processing_cycles"],
+        "abort_processing_cycles": 0,
+    }
+    assert iso["open_cycles_total"] > 0
+    kinds = [row["kind"] for row in sim.trace.iter_events()]
+    assert kinds.count(TX_BEGIN) == 1 and kinds.count(TX_COMMIT) == 1

@@ -56,3 +56,31 @@ def test_line_plot_flat_series():
 
 def test_line_plot_empty():
     assert line_plot([]) == "(no data)"
+
+
+def test_charts_from_live_results_smoke():
+    """End-to-end: simulate two schemes, render every chart type."""
+    from repro.config import SimConfig
+    from repro.htm.ops import Tx, Write
+    from repro.simulator import Simulator
+
+    def thread():
+        def body():
+            yield Write(0x100, 5)
+        yield Tx(body)
+
+    results = {
+        scheme: Simulator(SimConfig(n_cores=2), scheme=scheme).run([thread])
+        for scheme in ("logtm-se", "suv")
+    }
+    chart = breakdown_chart({k: r.breakdown for k, r in results.items()})
+    assert "logtm-se" in chart and "suv" in chart and "legend" in chart
+    series = [(i, float(r.total_cycles))
+              for i, r in enumerate(results.values())]
+    assert "*" in line_plot(series, title="cycles")
+    for res in results.values():
+        bar = stacked_bar(res.breakdown,
+                          baseline_total=max(r.total for r in
+                                             (x.breakdown for x in
+                                              results.values())))
+        assert bar

@@ -8,13 +8,15 @@ from repro.simulator import Simulator
 from repro.stats.export import result_to_dict, results_to_json
 
 
-def small_result():
+def small_result(**sim_kwargs):
     def thread():
         def body():
             yield Write(0x100, 5)
         yield Tx(body)
 
-    return Simulator(SimConfig(n_cores=2), scheme="suv").run([thread])
+    return Simulator(
+        SimConfig(n_cores=2), scheme="suv", **sim_kwargs
+    ).run([thread])
 
 
 def test_result_roundtrips_through_json():
@@ -54,3 +56,31 @@ def test_simresult_json_roundtrip():
     assert again.per_core == res.per_core
     # serialization is canonical: a round-trip is a fixed point
     assert again.to_json() == SimResult.from_json(again.to_json()).to_json()
+
+
+def test_phase_breakdown_exported():
+    d = result_to_dict(small_result(trace=True))
+    iso = d["phase_breakdown"]["isolation"]
+    assert iso["windows"] == 1 and iso["committed"] == 1
+    assert d["phase_breakdown"]["events"]["recorded"] > 0
+    # the export is pure JSON
+    assert json.loads(json.dumps(d))["phase_breakdown"] == d["phase_breakdown"]
+
+
+def test_phase_breakdown_roundtrips_with_result():
+    from repro.simulator import SimResult
+
+    res = small_result(trace=True)
+    again = SimResult.from_json(res.to_json())
+    assert again.phase_breakdown == res.phase_breakdown
+    assert again.phase_breakdown["latency"]["commit"]["count"] == 1
+
+
+def test_legacy_result_json_defaults_to_empty_phase_breakdown():
+    from repro.simulator import SimResult
+
+    res = small_result()
+    blob = json.loads(res.to_json())
+    blob.pop("phase_breakdown", None)
+    again = SimResult.from_json(json.dumps(blob))
+    assert again.phase_breakdown == {}

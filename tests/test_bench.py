@@ -1,0 +1,161 @@
+"""Tests for the host-performance benchmark and its regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    FIDELITY_KEYS,
+    bench_specs,
+    compare,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bench_doc():
+    # synthetic-only keeps the module fast; the pinned matrix itself is
+    # covered by bench_specs() assertions below
+    doc = run_bench(scale="tiny", calibration=False)
+    return doc
+
+
+def fake_doc(entries):
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "scale": "tiny",
+        "calibration_s": None,
+        "provenance": {},
+        "entries": entries,
+    }
+
+
+def entry(label="a", cycles=100, wall=1.0, **extra):
+    row = {
+        "label": label,
+        "total_cycles": cycles,
+        "commits": 10,
+        "aborts": 2,
+        "wall_s": wall,
+        "phase_breakdown": {"isolation": {"windows": 12}},
+    }
+    row.update(extra)
+    return row
+
+
+def test_pinned_matrix_shape():
+    specs = bench_specs()
+    assert len(specs) == 6
+    assert {s.scheme for s in specs} == {"logtm-se", "fastm", "suv"}
+    assert all(s.seed == 3 and s.cores == 4 and s.scale == "tiny"
+               for s in specs)
+
+
+def test_bench_document_schema(bench_doc):
+    assert bench_doc["schema_version"] == BENCH_SCHEMA_VERSION
+    assert bench_doc["provenance"]["python"]
+    assert len(bench_doc["entries"]) == 6
+    for e in bench_doc["entries"]:
+        for key in FIDELITY_KEYS:
+            assert key in e
+        assert e["wall_s"] > 0
+        assert e["events_per_s"] > 0
+        assert e["txs_per_s"] > 0
+        assert e["phase_breakdown"]["isolation"]["windows"] > 0
+
+
+def test_bench_write_load_roundtrip(bench_doc, tmp_path):
+    path = write_bench(bench_doc, tmp_path, date="2026-01-01")
+    assert path.name == "BENCH_2026-01-01.json"
+    assert load_bench(path) == bench_doc
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    path = tmp_path / "BENCH_x.json"
+    path.write_text(json.dumps({"schema_version": 999, "entries": []}))
+    with pytest.raises(ValueError, match="schema_version"):
+        load_bench(path)
+
+
+def test_compare_identical_passes():
+    doc = fake_doc([entry()])
+    assert compare(doc, doc) == []
+
+
+def test_compare_flags_2x_wall_regression():
+    base = fake_doc([entry(wall=1.0)])
+    slow = fake_doc([entry(wall=2.0)])
+    problems = compare(base, slow)
+    assert len(problems) == 1 and "wall time regressed" in problems[0]
+    # faster is never a problem
+    assert compare(slow, base) == []
+
+
+def test_compare_wall_threshold_configurable():
+    base = fake_doc([entry(wall=1.0)])
+    slower = fake_doc([entry(wall=1.4)])
+    assert compare(base, slower, wall_threshold=0.5) == []
+    assert compare(base, slower, wall_threshold=0.25) != []
+
+
+def test_compare_fidelity_is_exact():
+    base = fake_doc([entry(cycles=100)])
+    drift = fake_doc([entry(cycles=101)])
+    problems = compare(base, drift)
+    assert any("total_cycles" in p for p in problems)
+
+
+def test_compare_flags_isolation_accounting_drift():
+    base = fake_doc([entry()])
+    cur = fake_doc([entry()])
+    cur["entries"][0]["phase_breakdown"]["isolation"]["windows"] = 13
+    problems = compare(base, cur)
+    assert any("isolation-window" in p for p in problems)
+
+
+def test_compare_flags_missing_entries():
+    base = fake_doc([entry("a"), entry("b")])
+    cur = fake_doc([entry("a"), entry("c")])
+    problems = compare(base, cur)
+    assert any("b: missing from current" in p for p in problems)
+    assert any("c: missing from baseline" in p for p in problems)
+
+
+def test_compare_normalizes_by_calibration():
+    base = fake_doc([entry(wall=1.0)])
+    base["calibration_s"] = 0.1
+    # twice the raw wall time on a host twice as slow: not a regression
+    cur = fake_doc([entry(wall=2.0)])
+    cur["calibration_s"] = 0.2
+    assert compare(base, cur) == []
+
+
+def test_cli_compare_bench_gate(bench_doc, tmp_path):
+    base = write_bench(bench_doc, tmp_path, date="base")
+    ok = json.loads(base.read_text())
+    cur = write_bench(ok, tmp_path, date="same")
+    assert main(["compare-bench", str(base), str(cur)]) == 0
+
+    slow = json.loads(base.read_text())
+    for e in slow["entries"]:
+        e["wall_s"] *= 2.0
+    slow_path = tmp_path / "BENCH_slow.json"
+    slow_path.write_text(json.dumps(slow))
+    assert main(["compare-bench", str(base), str(slow_path)]) == 1
+    assert main(["compare-bench", str(base), str(slow_path),
+                 "--wall-threshold", "1.5"]) == 0
+
+
+def test_cli_bench_writes_file(tmp_path, capsys):
+    rc = main(["bench", "--scale", "tiny", "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    files = list(tmp_path.glob("BENCH_*.json"))
+    assert len(files) == 1
+    assert "Isolation windows" in out
+    doc = load_bench(files[0])
+    assert doc["provenance"]["python"]

@@ -84,6 +84,30 @@ def test_matrix_command_caches_results(capsys, tmp_path):
     assert stat_rows(first) == stat_rows(second)
 
 
+def test_run_trace_chrome(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    rc = main(["run", "synthetic", "suv", "--scale", "tiny", "--cores", "4",
+               "--trace", str(path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "trace:" in out and "Isolation windows" in out
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_run_trace_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.jsonl"
+    rc = main(["run", "synthetic", "suv", "--scale", "tiny", "--cores", "4",
+               "--trace", str(path), "--trace-format", "jsonl"])
+    assert rc == 0
+    first = json.loads(path.read_text().splitlines()[0])
+    assert {"ts", "kind", "core"} <= set(first)
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "quicksort"])
