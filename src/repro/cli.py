@@ -27,6 +27,7 @@ values, which the library-level :func:`~repro.runner.run_experiment` /
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -370,6 +371,25 @@ def cmd_compare_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one spec on the host and print/emit the hotspot report.
+
+    ``repro bench`` tells you how fast; ``repro profile`` tells you
+    where the host time goes: top-N cProfile hotspots next to the
+    simulated per-component cycle table, optionally as JSON for
+    machine consumption.
+    """
+    from repro.profiling import format_profile, profile_spec
+
+    spec = _spec_from_args(args, args.scheme)
+    report = profile_spec(spec, top=args.top, sort=args.sort)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_profile(report))
+    return 0
+
+
 def cmd_hwcost(args: argparse.Namespace) -> int:
     from repro.hwcost.cacti import CactiLite
     from repro.hwcost.storage import suv_overhead_report
@@ -545,10 +565,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("baseline", help="baseline BENCH_*.json")
     p.add_argument("current", help="candidate BENCH_*.json")
-    p.add_argument("--wall-threshold", type=float, default=0.25,
+    p.add_argument("--wall-threshold", type=float, default=0.15,
                    help="tolerated calibrated wall-time slowdown "
                         "(fraction; fidelity metrics always exact)")
     p.set_defaults(fn=cmd_compare_bench)
+
+    p = sub.add_parser(
+        "profile",
+        help="profile one spec on the host (cProfile hotspot report)",
+    )
+    p.add_argument("workload", choices=_WORKLOAD_CHOICES)
+    p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
+    p.add_argument("--top", type=int, default=20,
+                   help="hotspot rows to report (default 20)")
+    p.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
+                   default="tottime")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of a table")
+    _add_common(p)
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
     p.set_defaults(fn=cmd_hwcost)

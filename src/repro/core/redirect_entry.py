@@ -35,42 +35,38 @@ from dataclasses import dataclass
 
 
 class EntryState(enum.Enum):
-    """The four (global, valid) states of Table II."""
+    """The four (global, valid) states of Table II.
+
+    ``global_bit``/``valid_bit``/``is_transient`` are plain attributes
+    computed once at class-creation time (entry-state checks sit on the
+    SUV translation hot path; see DESIGN §11).
+    """
 
     VALID = (1, 1)
     INVALID = (0, 0)
     LOCAL_VALID = (0, 1)
     LOCAL_INVALID = (1, 0)
 
-    @property
-    def global_bit(self) -> int:
-        return self.value[0]
-
-    @property
-    def valid_bit(self) -> int:
-        return self.value[1]
-
-    @property
-    def is_transient(self) -> bool:
-        """Transient states are exactly those with global != valid."""
-        return self.value[0] != self.value[1]
+    def __init__(self, global_bit: int, valid_bit: int) -> None:
+        self.global_bit = global_bit
+        self.valid_bit = valid_bit
+        #: transient states are exactly those with global != valid
+        self.is_transient = global_bit != valid_bit
 
     def committed(self) -> "EntryState":
         """The commit rule: flip the global bit of a transient entry."""
-        g, v = self.value
-        if g == v:
+        if not self.is_transient:
             return self
-        return EntryState((g ^ 1, v))
+        return EntryState((self.global_bit ^ 1, self.valid_bit))
 
     def aborted(self) -> "EntryState":
         """The abort rule: flip the valid bit of a transient entry."""
-        g, v = self.value
-        if g == v:
+        if not self.is_transient:
             return self
-        return EntryState((g, v ^ 1))
+        return EntryState((self.global_bit, self.valid_bit ^ 1))
 
 
-@dataclass
+@dataclass(slots=True)
 class RedirectEntry:
     """One (original line → redirected line) mapping."""
 

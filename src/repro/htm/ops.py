@@ -25,21 +25,21 @@ from dataclasses import dataclass
 from typing import Callable, Generator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Work:
     """Compute for ``cycles`` without touching memory."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read:
     """Load the 8-byte word at ``addr``; its value is sent back."""
 
     addr: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Write:
     """Store ``value`` to the 8-byte word at ``addr``."""
 
@@ -47,7 +47,7 @@ class Write:
     value: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Tx:
     """Run ``body()`` as a transaction (nested if yielded inside one).
 
@@ -59,7 +59,7 @@ class Tx:
     site: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OpenTx:
     """Run ``body()`` as an *open-nested* transaction (paper §IV-C).
 
@@ -76,7 +76,7 @@ class OpenTx:
     site: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Barrier:
     """Block until every live thread reaches barrier ``bid``."""
 

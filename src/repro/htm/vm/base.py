@@ -104,13 +104,17 @@ class VersionManager(ABC):
         The default implementation counts write-set lines evicted from
         the L1 during the transaction (Table V's cache overflows).
         """
-        written = frame.vm.setdefault("written_physical", set())
-        overflowed = [ln for ln in result.evicted if ln in written]
-        if overflowed:
-            self.stats.cache_overflows += len(overflowed)
-            if not frame.vm.get("overflowed"):
-                frame.vm["overflowed"] = True
-                self.stats.overflowed_txs += 1
+        vm = frame.vm
+        written = vm.get("written_physical")
+        if written is None:
+            written = vm["written_physical"] = set()
+        if result.evicted:
+            overflowed = [ln for ln in result.evicted if ln in written]
+            if overflowed:
+                self.stats.cache_overflows += len(overflowed)
+                if not vm.get("overflowed"):
+                    vm["overflowed"] = True
+                    self.stats.overflowed_txs += 1
         written.add(self._physical_of(core, frame, line))
         return 0
 

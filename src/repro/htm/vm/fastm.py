@@ -45,7 +45,10 @@ class FasTM(VersionManager):
 
     def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
         self.stats.tx_writes += 1
-        first: set[int] = frame.vm.setdefault("spec_lines", set())
+        vm = frame.vm
+        first: set[int] | None = vm.get("spec_lines")
+        if first is None:
+            first = vm["spec_lines"] = set()
         extra = 0
         if line not in first:
             self.stats.first_writes += 1
@@ -63,16 +66,19 @@ class FasTM(VersionManager):
         self, core: int, frame: TxFrame, line: int, result: AccessResult
     ) -> int:
         extra = super().post_write(core, frame, line, result)
-        spec: set[int] = frame.vm.setdefault("spec_lines", set())
-        overflowed: list[int] = frame.vm.setdefault("overflow_order", [])
-        logged: set[int] = frame.vm.setdefault("overflow_lines", set())
-        for ln in result.evicted_speculative:
-            if ln in spec and ln not in logged:
-                # the line left the L1 carrying uncommitted data: fall
-                # back to undo logging for it (degeneration to LogTM-SE)
-                logged.add(ln)
-                overflowed.append(ln)
-                extra += self._log_append(core)
+        if result.evicted_speculative:
+            vm = frame.vm
+            spec: set[int] = vm.setdefault("spec_lines", set())
+            overflowed: list[int] = vm.setdefault("overflow_order", [])
+            logged: set[int] = vm.setdefault("overflow_lines", set())
+            for ln in result.evicted_speculative:
+                if ln in spec and ln not in logged:
+                    # the line left the L1 carrying uncommitted data: fall
+                    # back to undo logging for it (degeneration to
+                    # LogTM-SE)
+                    logged.add(ln)
+                    overflowed.append(ln)
+                    extra += self._log_append(core)
         return extra
 
     def commit(self, core: int, frame: TxFrame, outermost: bool) -> int:

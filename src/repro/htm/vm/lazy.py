@@ -59,14 +59,20 @@ class LazyVM(VersionManager):
 
     # ------------------------------------------------------------------
     def pre_read(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
-        versions = frame.vm.setdefault("read_versions", {})
+        vm = frame.vm
+        versions = vm.get("read_versions")
+        if versions is None:
+            versions = vm["read_versions"] = {}
         if line not in versions:
             versions[line] = self.line_versions.get(line, 0)
         return 0, line
 
     def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
         self.stats.tx_writes += 1
-        first: set[int] = frame.vm.setdefault("spec_lines", set())
+        vm = frame.vm
+        first: set[int] | None = vm.get("spec_lines")
+        if first is None:
+            first = vm["spec_lines"] = set()
         if line not in first:
             self.stats.first_writes += 1
             first.add(line)

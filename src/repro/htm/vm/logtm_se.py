@@ -34,7 +34,10 @@ class LogTMSE(VersionManager):
 
     def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
         self.stats.tx_writes += 1
-        logged: set[int] = frame.vm.setdefault("logged_lines", set())
+        vm = frame.vm
+        logged: set[int] | None = vm.get("logged_lines")
+        if logged is None:
+            logged = vm["logged_lines"] = set()
         extra = 0
         if line not in logged:
             # one load of the old value + one store to the undo log

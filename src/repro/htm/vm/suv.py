@@ -182,9 +182,11 @@ class SUV(VersionManager):
         """This transaction's own redirection of ``line``, if any."""
         f: TxFrame | None = frame
         while f is not None:
-            target = f.vm.get("targets", {}).get(line)
-            if target is not None:
-                return target
+            targets = f.vm.get("targets")
+            if targets is not None:
+                target = targets.get(line)
+                if target is not None:
+                    return target
             f = f.parent
         return None
 
@@ -207,8 +209,13 @@ class SUV(VersionManager):
             # the line was already redirected by this transaction
             return 0, own
         self.stats.first_writes += 1
-        targets = frame.vm.setdefault("targets", {})
-        actions = frame.vm.setdefault("entries", [])
+        vm = frame.vm
+        targets = vm.get("targets")
+        if targets is None:
+            targets = vm["targets"] = {}
+        actions = vm.get("entries")
+        if actions is None:
+            actions = vm["entries"] = []
         entry, extra = self._consult_table(core, line)
 
         if entry is not None and entry.state.is_transient:

@@ -30,6 +30,25 @@ class Mesh:
         self.config = config
         self.n_banks = n_banks
         self._bank_nodes = self._place_banks(n_banks)
+        # The geometry is fixed at construction, so every core→bank and
+        # core→core latency is precomputed; the per-access methods below
+        # are plain table lookups (DESIGN §11).
+        hop = config.hop_latency
+        pos = [divmod(c, side) for c in range(n_cores)]
+        self._bank_lat = [
+            [
+                (abs(p[0] - b[0]) + abs(p[1] - b[1])) * hop
+                for b in self._bank_nodes
+            ]
+            for p in pos
+        ]
+        self._core_lat = [
+            [
+                (abs(pa[0] - pb[0]) + abs(pa[1] - pb[1])) * hop
+                for pb in pos
+            ]
+            for pa in pos
+        ]
 
     def _place_banks(self, n_banks: int) -> list[tuple[int, int]]:
         """Banks at the mesh corners (then edge midpoints for >4 banks)."""
@@ -59,13 +78,11 @@ class Mesh:
 
     def core_to_bank(self, core: int, line: int) -> int:
         """Latency from a core to the bank holding ``line``."""
-        return self.latency(
-            self.core_position(core), self._bank_nodes[self.bank_of_line(line)]
-        )
+        return self._bank_lat[core][line % self.n_banks]
 
     def core_to_core(self, a: int, b: int) -> int:
         """Latency of a direct core-to-core transfer (cache forwarding)."""
-        return self.latency(self.core_position(a), self.core_position(b))
+        return self._core_lat[a][b]
 
     def avg_core_to_bank(self, line: int) -> float:
         """Mean core→bank latency, used for broadcast cost estimates."""

@@ -3,34 +3,65 @@
 The cache tracks *lines* (already-shifted line indices), their MESI state,
 dirtiness, and a ``speculative`` flag used by the FasTM and lazy version
 managers to pin transactionally-written data in the L1.
+
+Hot-path notes (DESIGN §11):
+
+* :class:`CacheLineState` is an ``IntEnum`` so MESI checks on the lookup
+  path compare machine ints, not enum identities;
+* :class:`CacheLine` uses ``__slots__`` (no per-line ``__dict__``);
+* the set index uses a bitmask when the set count is a power of two;
+* per-set dicts are allocated lazily — tiny workloads touch a handful
+  of the L2's 2 048 sets, so eager allocation was pure construction
+  cost;
+* speculative lines are tracked in an insertion-ordered side index, so
+  commit/abort processing visits exactly the speculative lines instead
+  of scanning every set.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 
 from repro.config import CacheConfig
 
 
-class CacheLineState(enum.Enum):
+class CacheLineState(enum.IntEnum):
     """MESI states of a cached line."""
 
-    MODIFIED = "M"
-    EXCLUSIVE = "E"
-    SHARED = "S"
-    INVALID = "I"
+    MODIFIED = 0
+    EXCLUSIVE = 1
+    SHARED = 2
+    INVALID = 3
 
 
-@dataclass
+_INVALID = int(CacheLineState.INVALID)
+
+
 class CacheLine:
     """One resident line."""
 
-    line: int
-    state: CacheLineState
-    dirty: bool = False
-    speculative: bool = False
-    lru_tick: int = 0
+    __slots__ = ("line", "state", "dirty", "speculative", "lru_tick")
+
+    def __init__(
+        self,
+        line: int,
+        state: CacheLineState,
+        dirty: bool = False,
+        speculative: bool = False,
+        lru_tick: int = 0,
+    ) -> None:
+        self.line = line
+        self.state = state
+        self.dirty = dirty
+        self.speculative = speculative
+        self.lru_tick = lru_tick
+
+    def __repr__(self) -> str:  # diagnostics only
+        return (
+            f"CacheLine(line={self.line}, state={self.state!r}, "
+            f"dirty={self.dirty}, speculative={self.speculative}, "
+            f"lru_tick={self.lru_tick})"
+        )
 
 
 class SetAssocCache:
@@ -40,23 +71,49 @@ class SetAssocCache:
         self.config = config
         self.n_sets = config.n_sets
         self.ways = config.ways
-        # one dict per set: line -> CacheLine (len <= ways)
-        self._sets: list[dict[int, CacheLine]] = [dict() for _ in range(self.n_sets)]
+        # one dict per set (line -> CacheLine, len <= ways), allocated on
+        # first touch
+        self._sets: list[dict[int, CacheLine] | None] = [None] * self.n_sets
+        #: bitmask set index when n_sets is a power of two, else -1
+        self._set_mask = (
+            self.n_sets - 1 if self.n_sets & (self.n_sets - 1) == 0 else -1
+        )
+        #: insertion-ordered index of currently-speculative lines
+        self._spec: dict[int, CacheLine] = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def _set_of(self, line: int) -> dict[int, CacheLine]:
-        return self._sets[line % self.n_sets]
-
     def set_index(self, line: int) -> int:
-        return line % self.n_sets
+        mask = self._set_mask
+        return line & mask if mask >= 0 else line % self.n_sets
 
+    def _set_of(self, line: int) -> dict[int, CacheLine]:
+        mask = self._set_mask
+        idx = line & mask if mask >= 0 else line % self.n_sets
+        cset = self._sets[idx]
+        if cset is None:
+            cset = self._sets[idx] = {}
+        return cset
+
+    # ------------------------------------------------------------------
+    def _note_speculative(self, entry: CacheLine) -> None:
+        """Flag ``entry`` speculative and index it for commit/abort."""
+        entry.speculative = True
+        self._spec[entry.line] = entry
+
+    def _drop_speculative_index(self, line: int) -> None:
+        self._spec.pop(line, None)
+
+    # ------------------------------------------------------------------
     def lookup(self, line: int, touch: bool = True) -> CacheLine | None:
         """The resident entry for ``line``, or None.  Counts hit/miss."""
-        entry = self._set_of(line).get(line)
-        if entry is None or entry.state is CacheLineState.INVALID:
+        # set indexing inlined: this is the single hottest cache method
+        mask = self._set_mask
+        cset = self._sets[line & mask if mask >= 0 else line % self.n_sets]
+        entry = cset.get(line) if cset is not None else None
+        if entry is None or entry.state == _INVALID:
             self.misses += 1
             return None
         self.hits += 1
@@ -67,8 +124,10 @@ class SetAssocCache:
 
     def peek(self, line: int) -> CacheLine | None:
         """Like lookup but without touching LRU or counters."""
-        entry = self._set_of(line).get(line)
-        if entry is None or entry.state is CacheLineState.INVALID:
+        mask = self._set_mask
+        cset = self._sets[line & mask if mask >= 0 else line % self.n_sets]
+        entry = cset.get(line) if cset is not None else None
+        if entry is None or entry.state == _INVALID:
             return None
         return entry
 
@@ -92,7 +151,8 @@ class SetAssocCache:
         if existing is not None:
             existing.state = state
             existing.dirty = dirty or existing.dirty
-            existing.speculative = speculative or existing.speculative
+            if speculative and not existing.speculative:
+                self._note_speculative(existing)
             existing.lru_tick = self._tick
             return None
         victim: CacheLine | None = None
@@ -101,45 +161,49 @@ class SetAssocCache:
             pool = normal if normal else list(cset.values())
             victim = min(pool, key=lambda e: e.lru_tick)
             del cset[victim.line]
+            if victim.speculative:
+                self._drop_speculative_index(victim.line)
             self.evictions += 1
-        cset[line] = CacheLine(
-            line=line, state=state, dirty=dirty, speculative=speculative,
+        entry = CacheLine(
+            line=line, state=state, dirty=dirty, speculative=False,
             lru_tick=self._tick,
         )
+        cset[line] = entry
+        if speculative:
+            self._note_speculative(entry)
         return victim
 
     def invalidate(self, line: int) -> CacheLine | None:
         """Drop ``line``; returns the entry that was resident (if any)."""
-        cset = self._set_of(line)
-        return cset.pop(line, None)
+        entry = self._set_of(line).pop(line, None)
+        if entry is not None and entry.speculative:
+            self._drop_speculative_index(line)
+        return entry
 
     def resident_lines(self) -> list[int]:
         """All currently-resident line indices (test/diagnostic helper)."""
-        return [ln for cset in self._sets for ln in cset]
+        return [
+            ln for cset in self._sets if cset is not None for ln in cset
+        ]
 
     def speculative_lines(self) -> list[int]:
-        return [
-            e.line for cset in self._sets for e in cset.values() if e.speculative
-        ]
+        return list(self._spec)
 
     def clear_speculative(self, invalidate: bool = False) -> list[int]:
         """Commit (clear flags) or abort (invalidate) speculative lines.
 
         Returns the affected line indices.
         """
-        affected: list[int] = []
-        for cset in self._sets:
-            for ln in list(cset):
-                entry = cset[ln]
-                if not entry.speculative:
-                    continue
-                affected.append(ln)
-                if invalidate:
-                    del cset[ln]
-                else:
-                    entry.speculative = False
+        affected = list(self._spec)
+        if invalidate:
+            for ln in affected:
+                self._set_of(ln).pop(ln, None)
+        else:
+            for entry in self._spec.values():
+                entry.speculative = False
+        self._spec.clear()
         return affected
 
     @property
     def occupancy(self) -> int:
-        return sum(len(cset) for cset in self._sets)
+        return sum(len(cset) for cset in self._sets if cset is not None)

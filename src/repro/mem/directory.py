@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from repro.config import DirectoryConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class DirEntry:
     """Directory state for one line."""
 
@@ -46,7 +46,12 @@ class Directory:
         return e
 
     def record_shared(self, line: int, core: int) -> None:
-        e = self.entry(line)
+        # entry() inlined here and in record_owner: these two sit on the
+        # per-access hot path (every L1-hit store re-records its owner)
+        self.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         if e.owner is not None and e.owner != core:
             # owner was downgraded by the controller before this call
             e.sharers.add(e.owner)
@@ -57,7 +62,10 @@ class Directory:
             e.sharers.add(core)
 
     def record_owner(self, line: int, core: int) -> None:
-        e = self.entry(line)
+        self.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = DirEntry()
         e.owner = core
         e.sharers.clear()
 

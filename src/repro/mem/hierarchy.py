@@ -16,29 +16,39 @@ all-active-transactions probe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import SimConfig
 from repro.interconnect.mesh import Mesh
 from repro.mem.cache import CacheLineState as S
 from repro.mem.cache import SetAssocCache
+
+# int views of the MESI states for hot-path comparisons (DESIGN §11)
+_M = int(S.MODIFIED)
+_E = int(S.EXCLUSIVE)
+_S = int(S.SHARED)
 from repro.mem.directory import Directory
 from repro.mem.memory import MainMemory
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessResult:
-    """Outcome of one load/store as seen by the requesting core."""
+    """Outcome of one load/store as seen by the requesting core.
+
+    The eviction fields default to an (immutable, shared) empty tuple so
+    the hit path — the overwhelmingly common case — allocates no lists;
+    consumers only iterate them, never mutate (DESIGN §11).
+    """
 
     latency: int
     l1_hit: bool
     source: str  # "l1", "owner", "l2", "mem"
     #: speculative (transactionally-written) lines this access evicted
     #: from the requester's L1 — the FasTM/lazy overflow trigger.
-    evicted_speculative: list[int] = field(default_factory=list)
+    evicted_speculative: "list[int] | tuple[int, ...]" = ()
     #: every line this access evicted from the requester's L1 (used to
     #: count transactional write-set overflows for the eager schemes).
-    evicted: list[int] = field(default_factory=list)
+    evicted: "list[int] | tuple[int, ...]" = ()
 
 
 class MemoryHierarchy:
@@ -51,6 +61,17 @@ class MemoryHierarchy:
         self.l2 = SetAssocCache(config.l2)
         self.directory = Directory(config.directory, config.n_cores)
         self.memory = MainMemory(config.memory)
+        # latency constants hoisted out of the per-access attribute
+        # chains (config.l1.latency etc. never change after construction)
+        self._l1_lat = config.l1.latency
+        self._l2_lat = config.l2.latency
+        self._dir_lat = self.directory.latency
+        self._mem_lat = self.memory.access_latency()
+        # L1 hits vastly outnumber misses and always produce the same
+        # result object; consumers never mutate AccessResult (its
+        # eviction fields are shared empty tuples already), so one
+        # preallocated instance serves every hit
+        self._hit = AccessResult(self._l1_lat, True, "l1")
         # counters
         self.l1_writebacks = 0
         self.invalidations = 0
@@ -65,8 +86,8 @@ class MemoryHierarchy:
     def _fetch_from_l2_or_mem(self, line: int) -> tuple[int, str]:
         """Latency and source of a fill serviced below the L1s."""
         if self.l2.lookup(line) is not None:
-            return self.config.l2.latency, "l2"
-        latency = self.config.l2.latency + self.memory.access_latency()
+            return self._l2_lat, "l2"
+        latency = self._l2_lat + self._mem_lat
         victim = self.l2.insert(line, S.EXCLUSIVE)
         # dirty L2 victims drain to memory off the critical path
         return latency, "mem"
@@ -116,10 +137,10 @@ class MemoryHierarchy:
         l1 = self.l1s[core]
         entry = l1.lookup(line)
         if entry is not None:
-            return AccessResult(self.config.l1.latency, True, "l1")
+            return self._hit
 
-        latency = self.config.l1.latency  # detect the miss
-        latency += self._to_bank(core, line) + self.directory.latency
+        latency = self._l1_lat  # detect the miss
+        latency += self._to_bank(core, line) + self._dir_lat
         owner = self.directory.owner_of(line)
         if owner is not None and owner != core:
             # cache-to-cache forward; owner downgrades to S, dirty data
@@ -133,7 +154,7 @@ class MemoryHierarchy:
                     own_entry.dirty = False
                 own_entry.state = S.SHARED
                 self.directory.record_shared(line, owner)
-                latency += self.mesh.core_to_core(owner, core) + self.config.l1.latency
+                latency += self.mesh.core_to_core(owner, core) + self._l1_lat
                 source = "owner"
             else:
                 # stale directory (silent eviction): fall through to L2
@@ -159,27 +180,29 @@ class MemoryHierarchy:
         """Perform a store to ``line`` by ``core`` (GETM on miss/upgrade)."""
         l1 = self.l1s[core]
         entry = l1.lookup(line)
-        if entry is not None and entry.state in (S.MODIFIED, S.EXCLUSIVE):
+        if entry is not None and entry.state <= _E:  # MODIFIED or EXCLUSIVE
             entry.state = S.MODIFIED
             entry.dirty = True
-            entry.speculative = entry.speculative or speculative
+            if speculative and not entry.speculative:
+                l1._note_speculative(entry)
             self.directory.record_owner(line, core)
-            return AccessResult(self.config.l1.latency, True, "l1")
+            return self._hit
 
-        if entry is not None and entry.state is S.SHARED:
+        if entry is not None and entry.state == _S:
             # upgrade: invalidate the other sharers through the directory
-            latency = self.config.l1.latency
-            latency += self._to_bank(core, line) + self.directory.latency
+            latency = self._l1_lat
+            latency += self._to_bank(core, line) + self._dir_lat
             latency += self._invalidate_holders(line, core)
             entry.state = S.MODIFIED
             entry.dirty = True
-            entry.speculative = entry.speculative or speculative
+            if speculative and not entry.speculative:
+                l1._note_speculative(entry)
             self.directory.record_owner(line, core)
             return AccessResult(latency, True, "l1")
 
         # full miss: GETM
-        latency = self.config.l1.latency
-        latency += self._to_bank(core, line) + self.directory.latency
+        latency = self._l1_lat
+        latency += self._to_bank(core, line) + self._dir_lat
         owner = self.directory.owner_of(line)
         if owner is not None and owner != core and self.l1s[owner].peek(line):
             self.forwards += 1
@@ -188,7 +211,7 @@ class MemoryHierarchy:
             if own_entry is not None and own_entry.dirty:
                 self.l1_writebacks += 1
                 self.l2.insert(line, S.MODIFIED, dirty=True)
-            latency += self.mesh.core_to_core(owner, core) + self.config.l1.latency
+            latency += self.mesh.core_to_core(owner, core) + self._l1_lat
             source = "owner"
         else:
             latency += self._invalidate_holders(line, core)
@@ -215,15 +238,16 @@ class MemoryHierarchy:
         if entry is not None:
             entry.state = S.MODIFIED
             entry.dirty = True
-            entry.speculative = entry.speculative or speculative
+            if speculative and not entry.speculative:
+                l1._note_speculative(entry)
             self.directory.record_owner(line, core)
-            return AccessResult(self.config.l1.latency, True, "l1")
+            return self._hit
         evicted, evicted_spec = self._install_l1(
             core, line, S.MODIFIED, dirty=True, speculative=speculative
         )
         self.directory.record_owner(line, core)
         return AccessResult(
-            self.config.l1.latency, False, "l1", evicted_spec, evicted
+            self._l1_lat, False, "l1", evicted_spec, evicted
         )
 
     def local_write(self, core: int, line: int, speculative: bool = False) -> AccessResult:
@@ -238,10 +262,11 @@ class MemoryHierarchy:
         entry = l1.lookup(line)
         if entry is not None:
             entry.dirty = True
-            entry.speculative = entry.speculative or speculative
-            return AccessResult(self.config.l1.latency, True, "l1")
-        latency = self.config.l1.latency
-        latency += self._to_bank(core, line) + self.directory.latency
+            if speculative and not entry.speculative:
+                l1._note_speculative(entry)
+            return self._hit
+        latency = self._l1_lat
+        latency += self._to_bank(core, line) + self._dir_lat
         fill, source = self._fetch_from_l2_or_mem(line)
         latency += fill
         evicted, evicted_spec = self._install_l1(
@@ -258,7 +283,7 @@ class MemoryHierarchy:
         """
         return (
             self._to_bank(core, line)
-            + self.directory.latency
+            + self._dir_lat
             + self._invalidate_holders(line, core)
         )
 
@@ -273,7 +298,7 @@ class MemoryHierarchy:
         self.l1_writebacks += 1
         self.l2.insert(line, S.MODIFIED, dirty=True)
         entry.dirty = False
-        return self._to_bank(core, line) + self.config.l2.latency
+        return self._to_bank(core, line) + self._l2_lat
 
     def drop_speculative(self, core: int, invalidate: bool) -> list[int]:
         """Commit (keep) or abort (invalidate) a core's speculative lines."""
@@ -284,6 +309,7 @@ class MemoryHierarchy:
         return lines
 
     def mark_speculative(self, core: int, line: int) -> None:
-        entry = self.l1s[core].peek(line)
-        if entry is not None:
-            entry.speculative = True
+        l1 = self.l1s[core]
+        entry = l1.peek(line)
+        if entry is not None and not entry.speculative:
+            l1._note_speculative(entry)

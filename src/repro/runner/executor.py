@@ -22,12 +22,12 @@ from __future__ import annotations
 import os
 import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.runner.artifacts import ArtifactStore
 from repro.runner.cache import ResultCache
@@ -83,6 +83,39 @@ def _json_worker(spec: ExperimentSpec) -> str:
     return execute_spec(spec).to_json()
 
 
+def _warm_init() -> None:
+    """Pool initializer: pay the heavy imports once per worker process.
+
+    Without it every worker imports the simulator stack lazily inside
+    its first task, so short specs measure import time, not simulation.
+    """
+    import repro.simulator  # noqa: F401
+    import repro.workloads  # noqa: F401
+
+
+def _chunk_worker(
+    worker: Callable[[ExperimentSpec], Any], specs: tuple[ExperimentSpec, ...]
+) -> list[tuple[str, Any, float]]:
+    """Run a chunk of specs in one task, amortizing submit/pickle cost.
+
+    Returns one ``("ok", payload, seconds)`` or ``("err", message,
+    seconds)`` triple per spec — a crashing spec must not take its chunk
+    siblings down with it.
+    """
+    out: list[tuple[str, Any, float]] = []
+    for spec in specs:
+        start = time.monotonic()
+        try:
+            out.append(("ok", worker(spec), time.monotonic() - start))
+        except Exception as exc:
+            out.append((
+                "err",
+                f"{type(exc).__name__}: {exc}",
+                time.monotonic() - start,
+            ))
+    return out
+
+
 def _coerce_result(payload: Any) -> SimResult:
     if isinstance(payload, SimResult):
         return payload
@@ -133,6 +166,15 @@ class Runner:
       or a callable receiving each line.
     * ``worker`` — the pool task (a picklable
       ``spec -> SimResult | json-str``); replaceable for testing.
+    * ``chunk_size`` — specs per pool task when no ``timeout`` is set;
+      ``None`` sizes chunks automatically.
+
+    The worker pool is *persistent*: created on first use (workers
+    pre-import the simulator stack) and reused by later ``run()`` calls,
+    so repeated small matrices skip process spawn and import cost.  It
+    is recycled automatically after a timeout or pool breakage; call
+    :meth:`close` (or use the runner as a context manager) to release
+    it deterministically.
     """
 
     def __init__(
@@ -145,6 +187,7 @@ class Runner:
         artifacts: ArtifactStore | str | Path | None = None,
         progress: bool | Callable[[str], None] = False,
         worker: Callable[[ExperimentSpec], Any] | None = None,
+        chunk_size: int | None = None,
     ) -> None:
         if max_workers is None:
             max_workers = max(2, min(4, os.cpu_count() or 2))
@@ -160,8 +203,15 @@ class Runner:
         self.artifacts = artifacts
         self.progress = progress
         self._worker = worker
+        #: specs per pool task when no per-run ``timeout`` is set;
+        #: ``None`` = auto (sized so every worker gets several chunks)
+        self.chunk_size = chunk_size
         #: times the runner degraded to serial execution (pool failure)
         self.serial_fallbacks = 0
+        #: the persistent warm pool (created lazily, reused across
+        #: ``run()`` calls, recycled after a timeout or pool breakage)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
 
     # -- public entry points --------------------------------------------
     def run(
@@ -170,6 +220,44 @@ class Runner:
         """Execute every spec; outcomes are in spec order."""
         spec_list = specs.specs() if isinstance(specs, RunMatrix) else list(specs)
         outcomes: list[RunOutcome | None] = [None] * len(spec_list)
+        for i, outcome in self._run_indexed(spec_list):
+            outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def run_iter(
+        self, specs: Iterable[ExperimentSpec] | RunMatrix
+    ) -> Iterator[RunOutcome]:
+        """Yield each outcome as soon as it is known (streaming).
+
+        Cache hits come first; pooled results follow in completion
+        order (submission order when a per-run ``timeout`` is set,
+        whose bookkeeping needs ordered waits).  Useful for long
+        matrices: consumers can plot/persist results while the rest of
+        the sweep is still running, instead of gathering at the end.
+        """
+        spec_list = specs.specs() if isinstance(specs, RunMatrix) else list(specs)
+        for _i, outcome in self._run_indexed(spec_list):
+            yield outcome
+
+    def run_one(self, spec: ExperimentSpec) -> RunOutcome:
+        """Execute a single spec serially (cache consulted as usual)."""
+        return self.run([spec])[0]
+
+    def close(self) -> None:
+        """Shut down the warm worker pool (idempotent)."""
+        self._close_pool()
+
+    def __enter__(self) -> "Runner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- scheduling core --------------------------------------------------
+    def _run_indexed(
+        self, spec_list: Sequence[ExperimentSpec]
+    ) -> Iterator[tuple[int, RunOutcome]]:
+        """Yield ``(index, outcome)`` pairs as each spec resolves."""
         self._done_count = 0
         self._total = len(spec_list)
         self._t0 = time.monotonic()
@@ -178,94 +266,245 @@ class Runner:
         for i, spec in enumerate(spec_list):
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
-                outcomes[i] = RunOutcome(spec, hit, cached=True)
-                self._finish(outcomes[i])
+                outcome = RunOutcome(spec, hit, cached=True)
+                self._finish(outcome)
+                yield i, outcome
             else:
                 pending.append(i)
 
-        if pending:
-            if self.max_workers >= 2 and len(pending) > 1:
-                leftover = self._run_pool(spec_list, pending, outcomes)
-            else:
-                leftover = pending
-            for i in leftover:
-                outcomes[i] = self._run_serial(spec_list[i])
-                self._finish(outcomes[i])
-        return outcomes  # type: ignore[return-value]
-
-    def run_one(self, spec: ExperimentSpec) -> RunOutcome:
-        """Execute a single spec serially (cache consulted as usual)."""
-        return self.run([spec])[0]
+        leftover = pending
+        if self.max_workers >= 2 and len(pending) > 1:
+            leftover = []
+            yield from self._pool_indexed(spec_list, pending, leftover)
+        for i in leftover:
+            outcome = self._run_serial(spec_list[i])
+            self._finish(outcome)
+            yield i, outcome
 
     # -- pool path -------------------------------------------------------
     def _make_pool(self, n_tasks: int) -> ProcessPoolExecutor:
-        return ProcessPoolExecutor(max_workers=min(self.max_workers, n_tasks))
+        return ProcessPoolExecutor(
+            max_workers=min(self.max_workers, n_tasks),
+            initializer=_warm_init,
+        )
 
-    def _run_pool(
+    def _ensure_pool(self, n_tasks: int) -> ProcessPoolExecutor:
+        """The warm pool, created on first use and kept across runs."""
+        want = min(self.max_workers, n_tasks)
+        if self._pool is not None and self._pool_workers < want:
+            # a bigger matrix arrived: grow by recycling
+            self._close_pool()
+        if self._pool is None:
+            self._pool = self._make_pool(n_tasks)
+            self._pool_workers = want
+        return self._pool
+
+    def _close_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            # don't block on tasks abandoned by a timeout
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _pool_indexed(
         self,
         specs: Sequence[ExperimentSpec],
         pending: list[int],
-        outcomes: list[RunOutcome | None],
-    ) -> list[int]:
-        """Run ``pending`` indices in a process pool.
+        leftover: list[int],
+    ) -> Iterator[tuple[int, RunOutcome]]:
+        """Run ``pending`` indices in the warm pool, yielding as resolved.
 
-        Returns the indices left unfinished when the pool could not be
-        created or broke mid-run — the caller finishes those serially.
+        Indices still unfinished when the pool cannot be created or
+        breaks mid-run are appended to ``leftover`` — the caller
+        finishes those serially.
         """
         worker = self._worker or _json_worker
         try:
-            pool = self._make_pool(len(pending))
+            pool = self._ensure_pool(len(pending))
         except (OSError, NotImplementedError, PermissionError):
             self.serial_fallbacks += 1
-            return pending
+            leftover.extend(pending)
+            return
+        if self.timeout is None:
+            yield from self._pool_chunked(pool, worker, specs, pending, leftover)
+        else:
+            yield from self._pool_per_spec(pool, worker, specs, pending, leftover)
+
+    def _pool_chunked(
+        self,
+        pool: ProcessPoolExecutor,
+        worker: Callable[[ExperimentSpec], Any],
+        specs: Sequence[ExperimentSpec],
+        pending: list[int],
+        leftover: list[int],
+    ) -> Iterator[tuple[int, RunOutcome]]:
+        """Chunked streaming path (no per-run timeout to police).
+
+        Specs travel to the pool several per task so the pickle/submit
+        overhead amortizes, and resolved outcomes are yielded in
+        completion order.  Specs that failed inside a chunk are retried
+        individually with the usual seed offset.
+        """
+        chunk_size = self.chunk_size or max(
+            1, len(pending) // (max(1, self._pool_workers) * 4)
+        )
+        chunks = [
+            pending[at:at + chunk_size]
+            for at in range(0, len(pending), chunk_size)
+        ]
+        unresolved: set[int] = set(pending)
+        try:
+            futures = {
+                pool.submit(
+                    _chunk_worker, worker, tuple(specs[i] for i in chunk)
+                ): chunk
+                for chunk in chunks
+            }
+        except (BrokenProcessPool, RuntimeError):
+            self._pool_broke(unresolved, leftover)
+            return
+        retryable: list[tuple[int, str]] = []
+        for future in as_completed(futures):
+            chunk = futures[future]
+            try:
+                payloads = future.result()
+            except BrokenProcessPool:
+                self._pool_broke(unresolved, leftover)
+                return
+            for i, (status, payload, seconds) in zip(chunk, payloads):
+                if status == "ok":
+                    outcome = RunOutcome(
+                        specs[i],
+                        _coerce_result(payload),
+                        attempts=1,
+                        duration_s=seconds,
+                        executed_spec=specs[i],
+                    )
+                    unresolved.discard(i)
+                    self._finish(outcome)
+                    yield i, outcome
+                elif self.retries <= 0:
+                    outcome = RunOutcome(specs[i], attempts=1, error=payload)
+                    unresolved.discard(i)
+                    self._finish(outcome)
+                    yield i, outcome
+                else:
+                    retryable.append((i, payload))
+        for i, error in retryable:
+            outcome = self._pool_retry(pool, worker, specs[i], error)
+            if outcome is None:
+                self._pool_broke(unresolved, leftover)
+                return
+            unresolved.discard(i)
+            self._finish(outcome)
+            yield i, outcome
+
+    def _pool_retry(
+        self,
+        pool: ProcessPoolExecutor,
+        worker: Callable[[ExperimentSpec], Any],
+        spec: ExperimentSpec,
+        error: str,
+    ) -> RunOutcome | None:
+        """Retry one chunk-failed spec individually; None = pool broke."""
+        for attempt in range(2, self.retries + 2):
+            run_spec = self._retry_spec(spec, attempt - 1)
+            start = time.monotonic()
+            try:
+                result = _coerce_result(pool.submit(worker, run_spec).result())
+                return RunOutcome(
+                    spec,
+                    result,
+                    attempts=attempt,
+                    duration_s=time.monotonic() - start,
+                    executed_spec=run_spec,
+                )
+            except BrokenProcessPool:
+                return None
+            except RuntimeError:
+                # pool already unusable (shutting down)
+                return None
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+        return RunOutcome(spec, attempts=self.retries + 1, error=error)
+
+    def _pool_broke(self, unresolved: set[int], leftover: list[int]) -> None:
+        self.serial_fallbacks += 1
+        self._close_pool()
+        leftover.extend(sorted(unresolved))
+
+    def _pool_per_spec(
+        self,
+        pool: ProcessPoolExecutor,
+        worker: Callable[[ExperimentSpec], Any],
+        specs: Sequence[ExperimentSpec],
+        pending: list[int],
+        leftover: list[int],
+    ) -> Iterator[tuple[int, RunOutcome]]:
+        """One future per spec, waited in submission order.
+
+        Used when a per-run ``timeout`` is set: the budget applies to
+        each spec separately, which needs an ordered wait per future.
+        A timed-out task cannot be preempted, so the pool is recycled
+        at the end of the run rather than handed a poisoned worker.
+        """
+        timed_out = False
         try:
             tasks = {
                 i: (pool.submit(worker, specs[i]), 1, specs[i])
                 for i in pending
             }
-            for i in pending:
-                while outcomes[i] is None:
-                    future, attempt, run_spec = tasks[i]
-                    start = time.monotonic()
-                    try:
-                        result = _coerce_result(future.result(self.timeout))
-                        outcomes[i] = RunOutcome(
-                            specs[i],
-                            result,
-                            attempts=attempt,
-                            duration_s=time.monotonic() - start,
-                            executed_spec=run_spec,
-                        )
-                        self._finish(outcomes[i])
-                        break
-                    except FuturesTimeoutError:
-                        future.cancel()
-                        error = f"timed out after {self.timeout}s"
-                    except BrokenProcessPool:
-                        self.serial_fallbacks += 1
-                        return [j for j in pending if outcomes[j] is None]
-                    except Exception as exc:
-                        error = f"{type(exc).__name__}: {exc}"
-                    if attempt > self.retries:
-                        outcomes[i] = RunOutcome(
-                            specs[i], attempts=attempt, error=error
-                        )
-                        self._finish(outcomes[i])
-                        break
-                    retry_spec = self._retry_spec(specs[i], attempt)
-                    try:
-                        tasks[i] = (
-                            pool.submit(worker, retry_spec),
-                            attempt + 1,
-                            retry_spec,
-                        )
-                    except (BrokenProcessPool, RuntimeError):
-                        self.serial_fallbacks += 1
-                        return [j for j in pending if outcomes[j] is None]
-            return []
-        finally:
-            # don't block on tasks abandoned by a timeout
-            pool.shutdown(wait=False, cancel_futures=True)
+        except (BrokenProcessPool, RuntimeError):
+            self._pool_broke(set(pending), leftover)
+            return
+        unresolved = set(pending)
+        for i in pending:
+            while i in unresolved:
+                future, attempt, run_spec = tasks[i]
+                start = time.monotonic()
+                try:
+                    result = _coerce_result(future.result(self.timeout))
+                    outcome = RunOutcome(
+                        specs[i],
+                        result,
+                        attempts=attempt,
+                        duration_s=time.monotonic() - start,
+                        executed_spec=run_spec,
+                    )
+                    unresolved.discard(i)
+                    self._finish(outcome)
+                    yield i, outcome
+                    break
+                except FuturesTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    error = f"timed out after {self.timeout}s"
+                except BrokenProcessPool:
+                    self._pool_broke(unresolved, leftover)
+                    return
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                if attempt > self.retries:
+                    outcome = RunOutcome(
+                        specs[i], attempts=attempt, error=error
+                    )
+                    unresolved.discard(i)
+                    self._finish(outcome)
+                    yield i, outcome
+                    break
+                retry_spec = self._retry_spec(specs[i], attempt)
+                try:
+                    tasks[i] = (
+                        pool.submit(worker, retry_spec),
+                        attempt + 1,
+                        retry_spec,
+                    )
+                except (BrokenProcessPool, RuntimeError):
+                    self._pool_broke(unresolved, leftover)
+                    return
+        if timed_out:
+            # abandoned tasks still occupy workers; start fresh next run
+            self._close_pool()
 
     # -- serial path -----------------------------------------------------
     def _run_serial(self, spec: ExperimentSpec) -> RunOutcome:
@@ -369,4 +608,5 @@ def run_matrix(
     specs: Iterable[ExperimentSpec] | RunMatrix, **runner_kwargs: Any
 ) -> list[RunOutcome]:
     """Run a matrix (or any iterable of specs) through a :class:`Runner`."""
-    return Runner(**runner_kwargs).run(specs)
+    with Runner(**runner_kwargs) as runner:
+        return runner.run(specs)

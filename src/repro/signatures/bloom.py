@@ -9,6 +9,11 @@ Two flavours:
   remembers which bits were set exactly once, allowing a conservative
   delete (a "Bloom counter").  Deleting may leave the filter a superset
   of the true set, which costs wasted lookups but never correctness.
+
+Hot-path note (DESIGN §11): both filters go through the shared
+:class:`~repro.signatures.hashes.H3HashFamily` per-address *mask* cache,
+so ``add`` is one ``|=`` and ``test`` one ``&``/``==`` on a big int —
+identical bits to the per-index loop, at a fraction of the host cost.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from repro.signatures.hashes import H3HashFamily
 class BloomSignature:
     """A fixed-size Bloom filter over line addresses."""
 
+    __slots__ = ("bits", "hashes", "_hash", "_word", "_count")
+
     def __init__(self, bits: int, hashes: int, seed: int = 0xB100) -> None:
         self.bits = bits
         self.hashes = hashes
@@ -27,27 +34,45 @@ class BloomSignature:
         self._count = 0
 
     def add(self, value: int) -> None:
-        for idx in self._hash.indexes(value):
-            self._word |= 1 << idx
+        self._word |= self._hash.mask(value)
         self._count += 1
 
     def test(self, value: int) -> bool:
         """Might ``value`` be in the set?  (False ⇒ definitely not.)"""
-        for idx in self._hash.indexes(value):
-            if not (self._word >> idx) & 1:
-                return False
-        return True
+        mask = self._hash.mask(value)
+        return self._word & mask == mask
+
+    def test_mask(self, mask: int) -> bool:
+        """Membership test against a pre-computed H3 mask.
+
+        The conflict scan probes one line against many signatures; the
+        caller fetches ``family.mask(line)`` once and reuses it here.
+        """
+        return self._word & mask == mask
+
+    @property
+    def family(self) -> H3HashFamily:
+        """The shared hash family (source of pre-computed masks)."""
+        return self._hash
 
     def clear(self) -> None:
         self._word = 0
         self._count = 0
 
     def union_inplace(self, other: "BloomSignature") -> None:
-        """OR another signature into this one (nested-commit merge)."""
+        """OR another signature into this one (nested-commit merge).
+
+        ``added`` of the union is an **upper bound** on distinct
+        insertions (both operands may have inserted the same value); a
+        merge that contributes no new bits adds no count either, so an
+        empty or fully-subsumed child cannot inflate the gauge.
+        """
         if other.bits != self.bits:
             raise ValueError("signature sizes differ")
-        self._word |= other._word
-        self._count += other._count
+        new_word = self._word | other._word
+        if new_word != self._word:
+            self._count += other._count
+        self._word = new_word
 
     def intersects(self, other: "BloomSignature") -> bool:
         """Conservative set-intersection test (used for summary checks)."""
@@ -59,11 +84,18 @@ class BloomSignature:
 
     @property
     def popcount(self) -> int:
-        return bin(self._word).count("1")
+        return self._word.bit_count()
 
     @property
     def added(self) -> int:
-        """Number of ``add`` calls since the last clear."""
+        """Upper bound on ``add`` calls represented since the last clear.
+
+        Exact for a signature that was never a union target; a
+        nested-commit merge may double-count values both sides inserted
+        (the bit-OR cannot distinguish them), so treat this as a gauge,
+        not an exact cardinality — ``popcount`` is the ground truth the
+        false-positive estimate uses.
+        """
         return self._count
 
     def false_positive_rate(self) -> float:
@@ -82,6 +114,9 @@ class CountingSummarySignature:
     filter may remain a superset of the represented set.
     """
 
+    __slots__ = ("bits", "hashes", "_hash", "_sig", "_once",
+                 "adds", "removes")
+
     def __init__(self, bits: int, hashes: int, seed: int = 0x5BB) -> None:
         self.bits = bits
         self.hashes = hashes
@@ -91,7 +126,7 @@ class CountingSummarySignature:
         self.adds = 0
         self.removes = 0
 
-    def _idx(self, value: int) -> list[int]:
+    def _idx(self, value: int) -> tuple[int, ...]:
         return self._hash.indexes(value)
 
     def add(self, value: int) -> None:
@@ -106,10 +141,8 @@ class CountingSummarySignature:
                 self._once |= bit
 
     def test(self, value: int) -> bool:
-        for idx in self._idx(value):
-            if not (self._sig >> idx) & 1:
-                return False
-        return True
+        mask = self._hash.mask(value)
+        return self._sig & mask == mask
 
     def remove(self, value: int) -> None:
         """Conservatively remove ``value`` (clears only its unique bits)."""
@@ -126,7 +159,7 @@ class CountingSummarySignature:
 
     @property
     def popcount(self) -> int:
-        return bin(self._sig).count("1")
+        return self._sig.bit_count()
 
     @property
     def is_empty(self) -> bool:

@@ -7,12 +7,21 @@ bit, which is both faithful to the hardware and cheap in Python.
 
 Hash families are shared and memoized: every core's signatures use the
 same silicon hash matrix (as in real hardware), and conflict detection
-probes the same line addresses over and over.
+probes the same line addresses over and over.  Two per-address caches
+(bounded, oldest-first eviction) keep the hot path to a dict lookup:
+
+* :meth:`indexes` — the k signature-bit positions, as a tuple;
+* :meth:`mask` — those positions pre-OR-ed into one integer bitmask,
+  which turns Bloom ``add`` into ``word |= mask`` and membership
+  ``test`` into ``word & mask == mask`` — no per-bit Python loop.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+#: per-family cap on memoized addresses (each entry is one dict slot)
+_MEMO_LIMIT = 1 << 20
 
 
 class H3HashFamily:
@@ -31,7 +40,8 @@ class H3HashFamily:
         self._masks = rng.integers(
             1, 1 << 63, size=(k, self.bits), dtype=np.int64
         ).tolist()
-        self._memo: dict[int, list[int]] = {}
+        self._memo: dict[int, tuple[int, ...]] = {}
+        self._mask_memo: dict[int, int] = {}
 
     @classmethod
     def shared(cls, k: int, m: int, seed: int) -> "H3HashFamily":
@@ -43,7 +53,7 @@ class H3HashFamily:
             cls._shared[key] = fam
         return fam
 
-    def indexes(self, value: int) -> list[int]:
+    def indexes(self, value: int) -> tuple[int, ...]:
         """The k signature-bit positions for ``value`` (memoized)."""
         cached = self._memo.get(value)
         if cached is not None:
@@ -54,6 +64,30 @@ class H3HashFamily:
             for b, mask in enumerate(masks):
                 idx |= (bin(value & mask).count("1") & 1) << b
             out.append(idx)
-        if len(self._memo) < 1 << 20:
-            self._memo[value] = out
-        return out
+        result = tuple(out)
+        memo = self._memo
+        if len(memo) >= _MEMO_LIMIT:
+            # bounded cache: evict the oldest insertion (dicts preserve
+            # insertion order; a true LRU touch on every hit would cost
+            # more than the hash it saves)
+            memo.pop(next(iter(memo)))
+        memo[value] = result
+        return result
+
+    def mask(self, value: int) -> int:
+        """The k positions of ``value`` OR-ed into one bitmask (memoized).
+
+        ``word | mask`` inserts the value into a Bloom word and
+        ``word & mask == mask`` tests membership, each in O(1) int ops.
+        """
+        cached = self._mask_memo.get(value)
+        if cached is not None:
+            return cached
+        mask = 0
+        for idx in self.indexes(value):
+            mask |= 1 << idx
+        memo = self._mask_memo
+        if len(memo) >= _MEMO_LIMIT:
+            memo.pop(next(iter(memo)))
+        memo[value] = mask
+        return mask

@@ -46,6 +46,7 @@ from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, make_version_manager
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.oracle import OracleRecorder
+from repro.signatures.hashes import H3HashFamily
 from repro.sim.kernel import Event, EventQueue
 from repro.sim.rng import RngStreams
 from repro.stats.breakdown import Breakdown
@@ -104,6 +105,11 @@ class _Core:
         self.retry_event: Event | None = None
         self.comp: dict[str, int] = {}
         self.finish_time = 0
+        #: prebound callbacks (installed by Simulator.run); avoid
+        #: allocating a fresh closure for every resume/retry event
+        self.step_cb: Callable[[], None] | None = None
+        self.retry_cb: Callable[[], None] | None = None
+        self.stall_retry_cb: Callable[[], None] | None = None
 
     # -- delegation to the mounted thread ------------------------------
     @property
@@ -269,6 +275,20 @@ class Simulator:
         self.trace.clock = self.queue  # schemes read .now for event stamps
         self.scheme.attach_trace(self.trace)
         self.backoff = BackoffPolicy(self.config.htm, self.rng.stream("backoff"))
+        #: every frame's read/write signature shares this family (same
+        #: silicon hash matrix); the conflict scan fetches one mask per
+        #: probed line from it instead of re-hashing per signature
+        sig = self.config.signature
+        self._sig_family = H3HashFamily.shared(sig.hashes, sig.bits, sig.seed)
+        #: per-frame scheme hooks resolved once — probing them with
+        #: getattr() on every access is measurable on the hot path
+        self._spec_for_frame = getattr(self.scheme, "speculative_for", None)
+        self._local_for_frame = getattr(self.scheme, "local_writes_for", None)
+        self._spec_const = self.scheme.wants_speculative_marking()
+        self._local_const = self.scheme.uses_local_writes()
+        self._mask_of = self._sig_family.mask
+        self._policy = self.config.htm.policy
+        self._stall_period = self.config.htm.stall_retry_period
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults)
         self.faults = faults
@@ -311,6 +331,10 @@ class Simulator:
         transaction keeps its conflict state armed (Section IV-C).
         """
         self.cores = [_Core(idx=i) for i in range(self.config.n_cores)]
+        for c in self.cores:
+            c.step_cb = (lambda core=c: self._step(core))
+            c.retry_cb = (lambda core=c: self._retry_pending(core))
+            c.stall_retry_cb = (lambda core=c: self._stall_retry(core))
         self._ctxs = []
         for tid, factory in enumerate(threads):
             ctx = _ThreadCtx(tid=tid)
@@ -465,9 +489,9 @@ class Simulator:
             core.charge("NoTrans", cost)
         if reason == "stall":
             core.charge("Stalled", self.queue.now - ctx.park_start)
-            self.queue.schedule(cost, lambda: self._retry_pending(core))
+            self.queue.schedule(cost, core.retry_cb)
         else:
-            self.queue.schedule(cost, lambda: self._step(core))
+            self.queue.schedule(cost, core.step_cb)
 
     def _should_preempt(self, core: _Core) -> bool:
         if not self._multiplex or not self._ready:
@@ -485,9 +509,13 @@ class Simulator:
     # ==================================================================
     def _step(self, core: _Core) -> None:
         """Advance a running core by one operation."""
-        if core.status == DONE or core.ctx is None:
+        ctx = core.ctx
+        if core.status == DONE or ctx is None:
             return
-        if core.doomed_depth is not None:
+        # ctx is read directly below: core.doomed_depth/pending_send are
+        # delegation properties, and the descriptor call costs on a path
+        # that runs once per simulated operation
+        if ctx.doomed_depth is not None:
             self._begin_abort(core)
             return
         if self.faults is not None:
@@ -501,17 +529,18 @@ class Simulator:
                     core.charge("NoTrans", frozen)
                 self._resume_after(core, frozen)
                 return
-        if self._should_preempt(core):
+        if self._multiplex and self._ready and self._should_preempt(core):
             # suspend at an operation boundary; transactional state
             # (signatures, redirect entries, logs) stays armed
             self._park(core, "preempt")
             return
         core.status = RUNNING
-        gen = core.gen_stack[-1]
+        gen = ctx.gen_stack[-1]
         try:
-            if core.pending_send is not None:
-                value, core.pending_send = core.pending_send, None
-                if isinstance(value, _NoneSentinel):
+            value = ctx.pending_send
+            if value is not None:
+                ctx.pending_send = None
+                if value is _SENTINEL_NONE:
                     value = None
                 op = gen.send(value)
             else:
@@ -519,28 +548,30 @@ class Simulator:
         except StopIteration as stop:
             self._on_generator_done(core, stop)
             return
-        self._dispatch(core, op)
-
-    def _resume_after(self, core: _Core, delay: int) -> None:
-        self.queue.schedule(delay, lambda: self._step(core))
-
-    def _dispatch(self, core: _Core, op: Any) -> None:
-        if isinstance(op, Work):
-            if op.cycles < 0:
-                raise ValueError("Work cycles must be >= 0")
-            if core.in_tx:
-                core.frames[-1].tentative_cycles += op.cycles
-            else:
-                core.charge("NoTrans", op.cycles)
-            self._resume_after(core, op.cycles)
-        elif isinstance(op, (Read, Write)):
+        # op dispatch, inlined (this is the per-operation hot path);
+        # accesses first: they are the most frequent op by far
+        if isinstance(op, (Read, Write)):
             self._access(core, op)
+        elif isinstance(op, Work):
+            cycles = op.cycles
+            if cycles < 0:
+                raise ValueError("Work cycles must be >= 0")
+            frames = ctx.frames
+            if frames:
+                frames[-1].tentative_cycles += cycles
+            else:
+                core.charge("NoTrans", cycles)
+            self.queue.schedule(cycles, core.step_cb)
         elif isinstance(op, (Tx, OpenTx)):
             self._begin_tx(core, op)
         elif isinstance(op, Barrier):
             self._enter_barrier(core, op)
         else:
             raise TypeError(f"unknown operation {op!r}")
+
+    def _resume_after(self, core: _Core, delay: int) -> None:
+        self.queue.schedule(delay, core.step_cb)
+
 
     # ------------------------------------------------------------------
     # transactions: begin / commit / abort
@@ -816,8 +847,11 @@ class Simulator:
     # ------------------------------------------------------------------
     def _access(self, core: _Core, op: Read | Write) -> None:
         line = op.addr >> LINE_SHIFT
-        is_write = isinstance(op, Write)
-        if not core.in_tx or self._frame_visible(core.frames[-1]):
+        is_write = type(op) is Write
+        frames = core.ctx.frames
+        # _frame_visible(frames[-1]) inlined (per-access hot path)
+        if (not frames or frames[-1].mode != "lazy"
+                or frames[-1].vm.get("publishing")):
             conflict = self._find_conflict(core, line, is_write)
             if conflict is not None:
                 kind = conflict[0]
@@ -855,19 +889,28 @@ class Simulator:
         self, core: _Core, op: Read | Write, line: int, is_write: bool
     ) -> None:
         scheme = self.scheme
-        if core.in_tx:
-            frame = core.frames[-1]
+        ctx = core.ctx
+        if ctx.frames:
+            frame = ctx.frames[-1]
             if is_write:
                 frame.record_write(line)
                 extra, phys = scheme.pre_write(core.idx, frame, line)
-                spec = self._speculative_for(frame)
+                # _speculative_for/_local_writes_for inlined (hot path):
+                # the per-frame hook is prebound, the constant fallback
+                # precomputed
+                per = self._spec_for_frame
+                spec = per(frame) if per is not None else self._spec_const
                 if frame.vm.pop("allocate_write", False):
                     # fresh-line allocation (SUV pool): no fetch below
                     result = self.hierarchy.allocate_write(core.idx, phys, spec)
-                elif self._local_writes_for(frame):
-                    result = self.hierarchy.local_write(core.idx, phys, spec)
                 else:
-                    result = self.hierarchy.write(core.idx, phys, speculative=spec)
+                    local = self._local_for_frame
+                    if local(frame) if local is not None else self._local_const:
+                        result = self.hierarchy.local_write(core.idx, phys, spec)
+                    else:
+                        result = self.hierarchy.write(
+                            core.idx, phys, speculative=spec
+                        )
                 extra += scheme.post_write(core.idx, frame, line, result)
                 frame.write_buffer[op.addr] = op.value
                 if self.oracle is not None:
@@ -880,7 +923,7 @@ class Simulator:
                 value = self._tx_read_value(core, op.addr)
                 if self.oracle is not None:
                     self.oracle.record_tx_read(frame, op.addr, value)
-                core.pending_send = value if value is not None else _SENTINEL_NONE
+                ctx.pending_send = value if value is not None else _SENTINEL_NONE
                 latency = result.latency + extra
             frame.tentative_cycles += latency
             if frame.vm.get("must_abort"):
@@ -888,7 +931,7 @@ class Simulator:
                 # the overflow is noticed when the access completes
                 self.queue.schedule(latency, lambda: self._begin_abort(core))
                 return
-            self._resume_after(core, latency)
+            self.queue.schedule(latency, core.step_cb)
         else:
             extra, phys = scheme.nontx_translate(core.idx, line)
             if is_write:
@@ -901,12 +944,12 @@ class Simulator:
                 value = self.memory.load(op.addr)
                 if self.oracle is not None:
                     self.oracle.record_nontx(core.idx, False, op.addr, value)
-                core.pending_send = value if value is not None else _SENTINEL_NONE
+                ctx.pending_send = value if value is not None else _SENTINEL_NONE
             core.charge("NoTrans", result.latency + extra)
-            self._resume_after(core, result.latency + extra)
+            self.queue.schedule(result.latency + extra, core.step_cb)
 
     def _tx_read_value(self, core: _Core, addr: int) -> int:
-        for frame in reversed(core.frames):
+        for frame in reversed(core.ctx.frames):
             if addr in frame.write_buffer:
                 return frame.write_buffer[addr]
         return self.memory.load(addr)
@@ -919,27 +962,34 @@ class Simulator:
         return frame.mode != "lazy" or bool(frame.vm.get("publishing"))
 
     def _speculative_for(self, frame: TxFrame) -> bool:
-        per_frame = getattr(self.scheme, "speculative_for", None)
+        per_frame = self._spec_for_frame
         if per_frame is not None:
             return per_frame(frame)
-        return self.scheme.wants_speculative_marking()
+        return self._spec_const
 
     def _local_writes_for(self, frame: TxFrame) -> bool:
-        per_frame = getattr(self.scheme, "local_writes_for", None)
+        per_frame = self._local_for_frame
         if per_frame is not None:
             return per_frame(frame)
-        return self.scheme.uses_local_writes()
+        return self._local_const
 
     def _frames_conflict(
         self, frames: list[TxFrame], line: int, is_write: bool
+    ) -> TxFrame | None:
+        return self._frames_conflict_mask(
+            frames, self._mask_of(line), is_write
+        )
+
+    def _frames_conflict_mask(
+        self, frames: list[TxFrame], mask: int, is_write: bool
     ) -> TxFrame | None:
         for frame in frames:
             if not self._frame_visible(frame):
                 continue
             if is_write:
-                if frame.may_read_conflict(line):
+                if frame.may_read_conflict_mask(mask):
                     return frame
-            elif frame.may_write_conflict(line):
+            elif frame.may_write_conflict_mask(mask):
                 return frame
         return None
 
@@ -947,11 +997,25 @@ class Simulator:
         self, core: _Core, line: int, is_write: bool
     ) -> tuple[str, Any] | None:
         """The first conflicting holder: ("core", idx) or ("suspended", ctx)."""
+        # one H3 mask for the probed line serves every signature test in
+        # the scan; the per-frame visibility and Bloom tests are inlined
+        # because this loop runs for every access of every core (DESIGN
+        # §11).  Each signature is tested on its own word — OR-ing the
+        # read/write filters first would manufacture false positives.
+        mask = self._mask_of(line)
+        my_idx = core.idx
         for other in self.cores:
-            if other.idx == core.idx or other.ctx is None or not other.frames:
+            octx = other.ctx
+            if octx is None or other.idx == my_idx:
                 continue
-            if self._frames_conflict(other.frames, line, is_write) is not None:
-                return ("core", other.idx)
+            for frame in octx.frames:
+                if frame.mode == "lazy" and not frame.vm.get("publishing"):
+                    continue  # invisible until it starts publishing
+                w = frame.write_sig._word
+                if (w & mask == mask) or (
+                    is_write and frame.read_sig._word & mask == mask
+                ):
+                    return ("core", other.idx)
         if self._multiplex:
             # suspended transactions' signatures stay armed (the summary
             # signature of Section IV-C)
@@ -960,19 +1024,19 @@ class Simulator:
                     continue
                 if any(c.ctx is ctx for c in self.cores):
                     continue  # mounted: handled above
-                if self._frames_conflict(ctx.frames, line, is_write) is not None:
+                if self._frames_conflict_mask(ctx.frames, mask, is_write) is not None:
                     return ("suspended", ctx)
         return None
 
     def _resolve_conflict(self, core: _Core, holder_idx: int, op: Any) -> None:
-        if self.config.htm.policy == "abort_requester":
+        if self._policy == "abort_requester":
             # the conflicting access belongs to the innermost frame, so a
             # partial abort of that level suffices (LogTM-Nested): outer
             # levels keep their work and the inner body re-executes
             core.doomed_depth = len(core.frames) - 1
             self._begin_abort(core)
             return
-        if self.config.htm.policy == "abort_responder":
+        if self._policy == "abort_responder":
             # the paper's alternative: "make the receiving core ... abort
             # its transaction to guarantee the execution of the
             # requester's transaction"; the requester waits out the
@@ -1056,12 +1120,10 @@ class Simulator:
                 {"holder": holder_idx},
             )
         holder.waiters.add(core.idx)
-        period = self.config.htm.stall_retry_period
+        period = self._stall_period
         if self.faults is not None:
             period = self.faults.perturb_stall_retry(core.idx, period)
-        core.retry_event = self.queue.schedule(
-            period, lambda: self._stall_retry(core)
-        )
+        core.retry_event = self.queue.schedule(period, core.stall_retry_cb)
 
     def _unstall(self, core: _Core) -> None:
         core.charge("Stalled", self.queue.now - core.stall_start)
@@ -1103,19 +1165,21 @@ class Simulator:
                 waiter.retry_event = None
             waiter.waiting_on = None
             waiter.status = RUNNING
-            self.queue.schedule(0, lambda w=waiter: self._retry_pending(w))
+            self.queue.schedule(0, waiter.retry_cb)
         core.waiters.clear()
 
     def _resume_retry(self, core: _Core, delay: int) -> None:
-        self.queue.schedule(delay, lambda: self._retry_pending(core))
+        self.queue.schedule(delay, core.retry_cb)
 
     def _retry_pending(self, core: _Core) -> None:
-        if core.status == DONE or core.ctx is None:
+        ctx = core.ctx
+        if core.status == DONE or ctx is None:
             return
-        if core.doomed_depth is not None:
+        if ctx.doomed_depth is not None:
             self._begin_abort(core)
             return
-        op, core.pending_op = core.pending_op, None
+        op = ctx.pending_op
+        ctx.pending_op = None
         if op is None:
             self._step(core)
             return
@@ -1127,22 +1191,29 @@ class Simulator:
             self._access(core, op)
 
     # -- lazy-commit interplay ---------------------------------------------
+    def _write_set_masks(self, frame: TxFrame) -> list[int]:
+        """One H3 mask per write-set line, computed once per scan."""
+        mask = self._mask_of
+        return [mask(line) for line in frame.write_lines]
+
     def _lazy_commit_blocker(self, core: _Core, frame: TxFrame) -> int | None:
         """An eager transaction the lazy committer must wait for, if any."""
+        masks = self._write_set_masks(frame)
         for other in self.cores:
             if other.idx == core.idx or other.ctx is None or not other.frames:
                 continue
             for oframe in other.frames:
                 if not self._frame_visible(oframe):
                     continue
-                for line in frame.write_lines:
-                    if oframe.may_read_conflict(line):
+                for m in masks:
+                    if oframe.may_read_conflict_mask(m):
                         return other.idx
         return None
 
     def _suspended_blocker(self, core: _Core, frame: TxFrame) -> bool:
         """Does a suspended *visible* (eager) transaction overlap our
         write set?  The lazy committer must let it finish first."""
+        masks = self._write_set_masks(frame)
         mounted = {c.ctx for c in self.cores}
         for ctx in self._ctxs:
             if ctx.done or not ctx.frames or ctx in mounted or ctx is core.ctx:
@@ -1150,23 +1221,20 @@ class Simulator:
             for oframe in ctx.frames:
                 if not self._frame_visible(oframe):
                     continue
-                if any(oframe.may_read_conflict(line)
-                       for line in frame.write_lines):
+                if any(oframe.may_read_conflict_mask(m) for m in masks):
                     return True
         return False
 
     def _doom_lazy_losers(self, core: _Core, frame: TxFrame) -> None:
         """Committer wins: abort lazy transactions overlapping our writes."""
+        masks = self._write_set_masks(frame)
         for other in self.cores:
             if other.idx == core.idx or other.ctx is None or not other.frames:
                 continue
             if self._frame_visible(other.frames[0]):
                 continue
             for oframe in other.frames:
-                if any(
-                    oframe.read_sig.test(line) or oframe.write_sig.test(line)
-                    for line in frame.write_lines
-                ):
+                if any(oframe.may_read_conflict_mask(m) for m in masks):
                     self._doom(other.idx, 0)
                     break
         if self._multiplex:
@@ -1178,8 +1246,8 @@ class Simulator:
                 if self._frame_visible(ctx.frames[0]):
                     continue
                 if any(
-                    f.read_sig.test(line) or f.write_sig.test(line)
-                    for f in ctx.frames for line in frame.write_lines
+                    f.may_read_conflict_mask(m)
+                    for f in ctx.frames for m in masks
                 ):
                     ctx.doomed_depth = 0
 

@@ -43,6 +43,18 @@ _FACTORIES: dict[str, Callable[..., Program]] = {
     "synthetic": make_synthetic,
 }
 
+#: factories whose Programs carry no run-mutable captured state: their
+#: thread closures and verifiers only *read* the pre-planned inputs, so
+#: one built Program can be re-run any number of times.  The other
+#: workloads mutate captured structures while running (e.g. labyrinth's
+#: claimed-routes map) and must be rebuilt per run.
+_PURE_FACTORIES = frozenset({"ssca2", "synthetic"})
+
+#: memoized Programs for the pure factories (keyed by every build
+#: parameter); bench/sweep loops rebuild the same workload for each
+#: scheme, and the build can cost several ms against a ~20 ms tiny run
+_PROGRAM_MEMO: dict[tuple, Program] = {}
+
 _SCALES: dict[str, dict[str, dict[str, object]]] = {
     "bayes": {
         "tiny": dict(n_vars=10, work_per_score=40),
@@ -117,4 +129,14 @@ def make_workload(
         raise ValueError(f"unknown scale {scale!r}")
     kwargs: dict[str, object] = dict(_SCALES[name][scale])
     kwargs.update(overrides)
+    if name in _PURE_FACTORIES:
+        key = (name, n_threads, seed, tuple(sorted(kwargs.items())))
+        try:
+            program = _PROGRAM_MEMO.get(key)
+        except TypeError:          # unhashable override value
+            return _FACTORIES[name](n_threads=n_threads, seed=seed, **kwargs)
+        if program is None:
+            program = _FACTORIES[name](n_threads=n_threads, seed=seed, **kwargs)
+            _PROGRAM_MEMO[key] = program
+        return program
     return _FACTORIES[name](n_threads=n_threads, seed=seed, **kwargs)

@@ -150,3 +150,65 @@ def test_progress_callable_sees_every_run():
     runner.run([TINY, TINY.with_(seed=4)])
     assert len(lines) == 2
     assert "[2/2]" in lines[1]
+
+
+# -- warm pool, chunking, streaming ---------------------------------------
+def test_warm_pool_reused_across_runs():
+    with Runner(max_workers=2, retries=0) as runner:
+        runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+        first_pool = runner._pool
+        assert first_pool is not None  # kept warm, not shut down
+        outcomes = runner.run([TINY.with_(seed=5), TINY.with_(seed=6)])
+        assert runner._pool is first_pool
+        assert all(o.ok for o in outcomes)
+    assert runner._pool is None  # context exit released it
+
+
+def test_chunked_pool_matches_serial():
+    specs = [TINY.with_(seed=s) for s in range(1, 7)]
+    serial = [Runner(max_workers=1, retries=0).run_one(s) for s in specs]
+    with Runner(max_workers=2, retries=0, chunk_size=3) as runner:
+        pooled = runner.run(specs)
+    assert [o.result.total_cycles for o in pooled] == [
+        o.result.total_cycles for o in serial
+    ]
+
+
+def test_chunked_crash_retried_with_offset_seed():
+    with Runner(
+        max_workers=2, retries=1, retry_seed_offset=1000,
+        worker=crashy_worker, chunk_size=2,
+    ) as runner:
+        outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(o.ok for o in outcomes)
+    assert all(o.attempts == 2 for o in outcomes)
+    assert all(o.executed_spec.seed >= 1000 for o in outcomes)
+
+
+def test_chunk_failure_does_not_take_siblings_down():
+    with Runner(
+        max_workers=2, retries=0, worker=crashy_worker, chunk_size=2
+    ) as runner:
+        # seed 2000 succeeds, seed 1 crashes — same chunk
+        outcomes = runner.run([TINY.with_(seed=2000), TINY.with_(seed=1)])
+    assert outcomes[0].ok
+    assert not outcomes[1].ok and "boom" in outcomes[1].error
+
+
+def test_run_iter_streams_outcomes():
+    specs = [TINY.with_(seed=s) for s in (1, 2, 3)]
+    with Runner(max_workers=2, retries=0) as runner:
+        seen = []
+        for outcome in runner.run_iter(specs):
+            assert outcome.ok  # resolved by the time it is yielded
+            seen.append(outcome.spec.seed)
+    assert sorted(seen) == [1, 2, 3]
+
+
+def test_run_iter_yields_cache_hits_first(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    Runner(max_workers=1, cache=cache, retries=0).run_one(TINY.with_(seed=2))
+    with Runner(max_workers=1, cache=cache, retries=0) as runner:
+        outcomes = list(runner.run_iter([TINY.with_(seed=2), TINY.with_(seed=9)]))
+    assert outcomes[0].cached and outcomes[0].spec.seed == 2
+    assert not outcomes[1].cached and outcomes[1].ok

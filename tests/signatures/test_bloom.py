@@ -180,3 +180,24 @@ def test_summary_counters():
     s.add(2)
     s.remove(1)
     assert s.adds == 2 and s.removes == 1
+
+
+def test_union_with_no_new_bits_does_not_inflate_count():
+    # regression: union_inplace used to add other's count even when the
+    # OR set no new bits, drifting `added` away from reality
+    a = BloomSignature(2048, 4)
+    b = BloomSignature(2048, 4)
+    a.add(42)
+    b.add(42)  # identical membership -> no new bits
+    before = a.added
+    a.union_inplace(b)
+    assert a.added == before
+
+    empty = BloomSignature(2048, 4)
+    a.union_inplace(empty)
+    assert a.added == before
+
+    c = BloomSignature(2048, 4)
+    c.add(7)
+    a.union_inplace(c)  # genuinely new bits do count
+    assert a.added == before + c.added

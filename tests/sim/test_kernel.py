@@ -105,3 +105,25 @@ def test_run_returns_executed_count():
     for i in range(5):
         q.schedule(i, lambda: None)
     assert q.run() == 5
+
+
+def test_peak_queue_tracks_live_events_only():
+    # regression: cancelled entries awaiting pop are queue garbage, not
+    # queue pressure — peak_queue must not count them
+    q = EventQueue()
+    events = [q.schedule(5, lambda: None) for _ in range(10)]
+    assert q.peak_queue == 10
+    for ev in events[:8]:
+        ev.cancel()
+    q.schedule(1, lambda: None)  # live: 2 pending + this = 3 < 10
+    q.run()
+    assert q.peak_queue == 10
+
+    q2 = EventQueue()
+    for _ in range(4):
+        q2.schedule(3, lambda: None).cancel()
+    q2.schedule(2, lambda: None)
+    q2.run()
+    # each event is cancelled before the next schedule, so at most one
+    # event is ever live; counting cancelled garbage would report 5 here
+    assert q2.peak_queue == 1

@@ -1,0 +1,35 @@
+"""Smoke test for the micro-benchmark suite CI publishes."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "microbench.py"
+
+
+def _load():
+    spec = importlib.util.spec_from_file_location("microbench", _PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("microbench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quick_run_covers_every_bench():
+    microbench = _load()
+    rates = microbench.run_microbench(quick=True)
+    assert set(rates) == {name for name, _fn, _ops in microbench.BENCHES}
+    assert all(rate > 0 for rate in rates.values())
+
+
+def test_main_json_out(tmp_path, capsys):
+    import json
+
+    microbench = _load()
+    out = tmp_path / "MICROBENCH.json"
+    rc = microbench.main(["--quick", "--json", "--out", str(out)])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema_version"] == 1
+    assert doc["quick"] is True
+    assert json.loads(capsys.readouterr().out)["ops_per_s"] == doc["ops_per_s"]

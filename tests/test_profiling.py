@@ -1,0 +1,61 @@
+"""Tests for the host-profiling report (``repro profile``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.profiling import format_profile, profile_spec
+from repro.runner.spec import ExperimentSpec
+
+SPEC = ExperimentSpec("ssca2", scheme="suv", scale="tiny", seed=3, cores=4)
+
+
+def test_profile_spec_report_shape():
+    report = profile_spec(SPEC, top=5)
+    assert report["spec"] == SPEC.label()
+    assert report["sort"] == "tottime"
+    host = report["host"]
+    assert host["wall_s"] > 0
+    assert host["events_per_s"] > 0
+    assert host["sim_cycles"] > 0
+    assert 0 < len(report["hotspots"]) <= 5
+    spot = report["hotspots"][0]
+    assert set(spot) >= {"function", "file", "line", "ncalls",
+                         "tottime_s", "cumtime_s", "percall_us"}
+    # hotspots honour the sort key
+    times = [s["tottime_s"] for s in report["hotspots"]]
+    assert times == sorted(times, reverse=True)
+    shares = [row["share"] for row in report["components"].values()]
+    assert all(0.0 <= share <= 1.0 for share in shares)
+    json.dumps(report)  # must be JSON-serializable as-is
+
+
+def test_profile_spec_rejects_unknown_sort():
+    with pytest.raises(ValueError):
+        profile_spec(SPEC, sort="wallclock")
+
+
+def test_format_profile_renders_hotspots():
+    report = profile_spec(SPEC, top=3, sort="cumtime")
+    text = format_profile(report)
+    assert SPEC.label() in text
+    assert "events/s" in text
+    for spot in report["hotspots"]:
+        assert spot["function"] in text
+
+
+def test_profile_cli_json(capsys):
+    rc = main(["profile", "ssca2", "suv", "--scale", "tiny", "--cores", "4",
+               "--seed", "3", "--top", "5", "--json"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["scheme"] == "suv"
+    assert len(report["hotspots"]) <= 5
+
+
+def test_profile_cli_text(capsys):
+    rc = main(["profile", "ssca2", "suv", "--scale", "tiny", "--cores", "4",
+               "--seed", "3", "--top", "3"])
+    assert rc == 0
+    assert "profile —" in capsys.readouterr().out

@@ -84,3 +84,22 @@ def test_contention_produces_aborts_or_stalls():
     res = run_and_verify("intruder", "logtm-se", n_threads=8)
     bd = res.breakdown.cycles
     assert bd["Stalled"] + bd["Wasted"] + bd["Backoff"] > 0
+
+
+def test_pure_factories_memoized():
+    # ssca2/synthetic Programs are read-only at run time, so the registry
+    # hands back the same built object for identical build parameters
+    a = make_workload("ssca2", n_threads=4, seed=3, scale="tiny")
+    b = make_workload("ssca2", n_threads=4, seed=3, scale="tiny")
+    assert a is b
+    assert make_workload("ssca2", n_threads=4, seed=4, scale="tiny") is not a
+    assert make_workload("synthetic", n_threads=4, seed=3, scale="tiny") is \
+        make_workload("synthetic", n_threads=4, seed=3, scale="tiny")
+
+
+def test_impure_factories_rebuilt_each_call():
+    # labyrinth mutates captured state while running; sharing one Program
+    # across runs would leak results between experiments
+    a = make_workload("labyrinth", n_threads=4, seed=3, scale="tiny")
+    b = make_workload("labyrinth", n_threads=4, seed=3, scale="tiny")
+    assert a is not b
