@@ -80,7 +80,7 @@ def test_ablation_conflict_policy(benchmark, sim_cache):
 
     def run_all():
         for policy in ("stall", "abort_requester"):
-            results[policy] = sim_cache.run(APP, S, policy=policy)
+            results[policy] = sim_cache.run(APP, S, resolution=policy)
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -47,7 +47,7 @@ def neighbour(delay):
 
 
 def run(scheme: str, policy: str = "stall"):
-    config = SimConfig(n_cores=4, htm=HTMConfig(policy=policy))
+    config = SimConfig(n_cores=4, htm=HTMConfig(resolution=policy))
     sim = Simulator(config, scheme=scheme, seed=1)
     res = sim.run([big_writer, neighbour(150), neighbour(300)])
     return res

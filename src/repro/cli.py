@@ -33,8 +33,9 @@ import sys
 import time
 
 from repro.config import SimConfig
+from repro.errors import IncompatiblePolicyError, UnknownSchemeError
 from repro.faults import list_presets
-from repro.htm.vm.base import available_schemes
+from repro.htm.vm.base import available_schemes, resolve_scheme_name
 from repro.runner import (
     ArtifactStore,
     ExperimentSpec,
@@ -57,8 +58,28 @@ SCHEMES = available_schemes()
 _WORKLOAD_CHOICES = WORKLOAD_NAMES + ("synthetic",)
 
 
+def _scheme_name(value: str) -> str:
+    """``argparse`` type: any registered or composed scheme name."""
+    try:
+        return resolve_scheme_name(value)
+    except (UnknownSchemeError, IncompatiblePolicyError) as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _scheme_from_args(args: argparse.Namespace, scheme: str):
+    """The scheme the namespace describes: per-axis flags override."""
+    if getattr(args, "vm", None) or getattr(args, "cd", None):
+        return {
+            "vm": args.vm or "redirect",
+            "cd": args.cd or "eager",
+            "resolution": args.resolution,
+            "arbitration": getattr(args, "arbitration", "serial"),
+        }
+    return scheme
+
+
 def _spec_from_args(
-    args: argparse.Namespace, scheme: str, **config_overrides
+    args: argparse.Namespace, scheme, **config_overrides
 ) -> ExperimentSpec:
     """The experiment an ``argparse`` namespace describes."""
     return ExperimentSpec(
@@ -68,7 +89,8 @@ def _spec_from_args(
         seed=args.seed,
         cores=args.cores,
         threads=args.threads,
-        policy=args.policy,
+        resolution=args.resolution,
+        arbitration=getattr(args, "arbitration", "serial"),
         stagger=args.stagger,
         verify=not args.no_verify,
         config_overrides=config_overrides,
@@ -102,12 +124,14 @@ def _run_specs(args: argparse.Namespace, specs: list[ExperimentSpec]) -> list[Si
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args, _scheme_from_args(args, args.scheme))
+    scheme_label = spec.scheme
     if args.trace:
         from repro.runner import execute_spec
         from repro.trace import Tracer
 
         tracer = Tracer(events=True)
-        res = execute_spec(_spec_from_args(args, args.scheme), trace=tracer)
+        res = execute_spec(spec, trace=tracer)
         if args.trace_format == "chrome":
             tracer.write_chrome_trace(args.trace)
         else:
@@ -116,8 +140,12 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"({res.phase_breakdown['events']['dropped']} dropped) "
               f"-> {args.trace} [{args.trace_format}]")
     else:
-        res = _run_one(args, args.scheme)
-    print(f"{args.workload} under {args.scheme}: "
+        res = run_experiment(spec)
+    if res.policy_axes:
+        print("axes:", " ".join(
+            f"{axis}={value}" for axis, value in res.policy_axes.items()
+        ))
+    print(f"{args.workload} under {scheme_label}: "
           f"{res.total_cycles:,} cycles, {res.commits} commits, "
           f"{res.aborts} aborts (ratio {res.abort_ratio:.1%}), "
           f"{res.n_threads} threads, "
@@ -135,7 +163,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     print(format_table(["component", "cycles", "share"], rows))
     if res.phase_breakdown:
         print()
-        print(format_phase_table({args.scheme: res.phase_breakdown}))
+        print(format_phase_table({scheme_label: res.phase_breakdown}))
     if args.stats:
         stats = [(k, v) for k, v in sorted(res.scheme_stats.items()) if v]
         print()
@@ -205,11 +233,14 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     matrix = RunMatrix(
         workloads=tuple(args.workloads),
         schemes=tuple(args.schemes),
+        vms=tuple(args.vms),
+        cds=tuple(args.cds),
         scales=(args.scale,),
         seeds=tuple(args.seeds),
         cores=(args.cores,),
         threads=(args.threads,),
-        policies=(args.policy,),
+        resolutions=(args.resolution,),
+        arbitrations=(args.arbitration,),
         staggers=(args.stagger,),
         fault_plans=tuple(getattr(args, "fault_plans", None) or ("",)),
         verify=not args.no_verify,
@@ -276,7 +307,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         seeds=(args.seed,),
         cores=(args.cores,),
         threads=(args.threads,),
-        policies=(args.policy,),
+        resolutions=(args.resolution,),
+        arbitrations=(args.arbitration,),
         staggers=(args.stagger,),
         fault_plans=plans,
         verify=not args.no_verify,
@@ -415,10 +447,101 @@ def cmd_hwcost(args: argparse.Namespace) -> int:
 
 def cmd_list(args: argparse.Namespace) -> int:
     print("workloads:", ", ".join(_WORKLOAD_CHOICES))
-    print("schemes  :", ", ".join(SCHEMES))
+    print("schemes  :", ", ".join(SCHEMES), "(+ composed, see `repro schemes`)")
     print("scales   : tiny, small, full")
     print("fault plans:", ", ".join(list_presets()))
     return 0
+
+
+def _schemes_doc() -> dict:
+    """The scheme registry + policy space as one JSON-friendly document."""
+    from repro.htm.policy import (
+        ARBITRATION_AXIS,
+        CANONICAL_AXES,
+        CD_AXIS,
+        RESOLUTION_AXIS,
+        VM_AXIS,
+        iter_scheme_space,
+    )
+
+    legal, illegal = [], []
+    for comp in iter_scheme_space():
+        reason = comp.illegal_reason()
+        if reason is None:
+            legal.append(comp.name)
+        else:
+            illegal.append({"axes": comp.as_dict(), "reason": reason})
+    return {
+        "axes": {
+            "vm": list(VM_AXIS),
+            "cd": list(CD_AXIS),
+            "resolution": list(RESOLUTION_AXIS),
+            "arbitration": list(ARBITRATION_AXIS),
+        },
+        "canonical": [
+            {"name": name, "vm": vm, "cd": cd}
+            for name, (vm, cd) in CANONICAL_AXES.items()
+        ],
+        "legal": legal,
+        "illegal": illegal,
+        "counts": {"legal": len(legal), "total": len(legal) + len(illegal)},
+    }
+
+
+def scheme_table_markdown() -> str:
+    """The README scheme table, generated from the registry."""
+    doc = _schemes_doc()
+    lines = [
+        "| Scheme | VM axis | CD axis | Resolution | Arbitration |",
+        "|--------|---------|---------|------------|-------------|",
+    ]
+    for row in doc["canonical"]:
+        lines.append(
+            f"| `{row['name']}` | {row['vm']} | {row['cd']} "
+            "| config (`stall`) | config (`serial`) |"
+        )
+    counts = doc["counts"]
+    lines.append("")
+    lines.append(
+        f"Composed names cover the legal subset of the four-axis space "
+        f"({counts['legal']} of {counts['total']} combinations; "
+        "`repro schemes --list` prints them all)."
+    )
+    return "\n".join(lines)
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    """Describe the scheme registry and the composed policy space."""
+    doc = _schemes_doc()
+    if args.json:
+        if args.list:
+            print(json.dumps(doc["legal"], indent=2))
+        else:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    if args.markdown:
+        print(scheme_table_markdown())
+        return 0
+    if args.list:
+        for name in doc["legal"]:
+            print(name)
+        return 0
+    print(format_table(
+        ["scheme", "vm", "cd"],
+        [[row["name"], row["vm"], row["cd"]] for row in doc["canonical"]],
+        title="canonical schemes (resolution/arbitration from HTMConfig)",
+    ))
+    print()
+    for axis, values in doc["axes"].items():
+        print(f"{axis:12s}: {', '.join(values)}")
+    counts = doc["counts"]
+    print(f"\ncomposed space: {counts['legal']} legal of "
+          f"{counts['total']} vm+cd+resolution+arbitration combinations "
+          "(`repro schemes --list`)")
+    return 0
+
+
+_RESOLUTIONS = ("stall", "abort_requester", "abort_responder", "timestamp")
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -429,8 +552,13 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=3)
     p.add_argument("--scale", choices=("tiny", "small", "full"),
                    default="small")
-    p.add_argument("--policy", choices=("stall", "abort_requester", "abort_responder"),
-                   default="stall")
+    p.add_argument("--resolution", "--policy", choices=_RESOLUTIONS,
+                   default="stall",
+                   help="conflict-resolution axis (--policy is the "
+                        "deprecated spelling)")
+    p.add_argument("--arbitration", default="serial",
+                   help="commit-arbitration axis: serial or widthN "
+                        "(N >= 2); applies to lazy-mode commits")
     p.add_argument("--stagger", type=int, default=512)
     p.add_argument("--no-verify", action="store_true",
                    help="skip the workload's functional verifier")
@@ -455,7 +583,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("run", help="run one workload under one scheme")
     p.add_argument("workload", choices=_WORKLOAD_CHOICES)
-    p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
+    p.add_argument("scheme", type=_scheme_name, nargs="?", default="suv",
+                   help="a registered scheme name or a composed "
+                        "vm+cd+resolution+arbitration name")
+    p.add_argument("--vm", choices=("undo", "flash", "redirect", "buffer"),
+                   help="version-management axis; with --cd/--resolution/"
+                        "--arbitration this composes a scheme and "
+                        "overrides the positional name")
+    p.add_argument("--cd", choices=("eager", "lazy", "adaptive"),
+                   help="conflict-detection axis (see --vm)")
     p.add_argument("--stats", action="store_true")
     p.add_argument("--trace", metavar="PATH",
                    help="record the event trace to PATH (bypasses the "
@@ -470,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="compare schemes on one workload")
     p.add_argument("workload", choices=_WORKLOAD_CHOICES)
     p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
-                   choices=SCHEMES)
+                   type=_scheme_name)
     _add_common(p)
     _add_jobs(p)
     p.set_defaults(fn=cmd_compare)
@@ -480,7 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("parameter",
                    choices=("l1_entries", "l2_entries", "l2_latency"))
     p.add_argument("values", type=int, nargs="+")
-    p.add_argument("--scheme", default="suv", choices=SCHEMES)
+    p.add_argument("--scheme", default="suv", type=_scheme_name)
     _add_common(p)
     _add_jobs(p)
     p.set_defaults(fn=cmd_sweep)
@@ -493,15 +629,23 @@ def build_parser() -> argparse.ArgumentParser:
                                                       "kmeans", "vacation"],
                    choices=_WORKLOAD_CHOICES)
     p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
-                   choices=SCHEMES)
+                   type=_scheme_name)
+    p.add_argument("--vms", nargs="+", default=[],
+                   choices=("undo", "flash", "redirect", "buffer"),
+                   help="version-management axis sweep; with --cds/"
+                        "--resolution/--arbitration replaces --schemes by "
+                        "the legal composed cross product")
+    p.add_argument("--cds", nargs="+", default=[],
+                   choices=("eager", "lazy", "adaptive"),
+                   help="conflict-detection axis sweep (see --vms)")
     p.add_argument("--seeds", type=int, nargs="+", default=[3])
     p.add_argument("--scale", choices=("tiny", "small", "full"),
                    default="tiny")
     p.add_argument("--cores", type=int, default=8)
     p.add_argument("--threads", type=int, default=0)
-    p.add_argument("--policy",
-                   choices=("stall", "abort_requester", "abort_responder"),
+    p.add_argument("--resolution", "--policy", choices=_RESOLUTIONS,
                    default="stall")
+    p.add_argument("--arbitration", default="serial")
     p.add_argument("--stagger", type=int, default=512)
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--fault-plans", nargs="+", default=[],
@@ -531,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", nargs="+", default=["synthetic", "genome"],
                    choices=_WORKLOAD_CHOICES)
     p.add_argument("--schemes", nargs="+", default=list(SCHEMES),
-                   choices=SCHEMES)
+                   type=_scheme_name)
     p.add_argument("--plans", nargs="+", default=list_presets(),
                    help="fault plans to inject (preset names or inline "
                         "JSON); the fault-free baseline always runs too")
@@ -540,9 +684,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="tiny")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--threads", type=int, default=0)
-    p.add_argument("--policy",
-                   choices=("stall", "abort_requester", "abort_responder"),
+    p.add_argument("--resolution", "--policy", choices=_RESOLUTIONS,
                    default="stall")
+    p.add_argument("--arbitration", default="serial")
     p.add_argument("--stagger", type=int, default=512)
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--jobs", type=int, default=0,
@@ -575,7 +719,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="profile one spec on the host (cProfile hotspot report)",
     )
     p.add_argument("workload", choices=_WORKLOAD_CHOICES)
-    p.add_argument("scheme", choices=SCHEMES, nargs="?", default="suv")
+    p.add_argument("scheme", type=_scheme_name, nargs="?", default="suv")
     p.add_argument("--top", type=int, default=20,
                    help="hotspot rows to report (default 20)")
     p.add_argument("--sort", choices=("tottime", "cumtime", "ncalls"),
@@ -587,6 +731,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("hwcost", help="hardware-cost report (Table VII)")
     p.set_defaults(fn=cmd_hwcost)
+
+    p = sub.add_parser(
+        "schemes",
+        help="describe the scheme registry and composed policy space",
+    )
+    p.add_argument("--list", action="store_true",
+                   help="print every legal composed scheme name")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit the README scheme table")
+    p.set_defaults(fn=cmd_schemes)
 
     p = sub.add_parser("list", help="list workloads and schemes")
     p.set_defaults(fn=cmd_list)

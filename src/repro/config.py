@@ -121,12 +121,21 @@ class RedirectConfig:
 class HTMConfig:
     """Transactional-memory policy parameters shared by all schemes."""
 
-    #: conflict-resolution policy: ``stall`` (requester stalls; deadlock
+    #: deprecated spelling of :attr:`resolution`; kept so old configs
+    #: keep working.  ``"abort"`` maps to ``"abort_requester"``.  Using
+    #: it emits a :class:`DeprecationWarning`; prefer ``resolution=``.
+    policy: str = ""
+    #: conflict-resolution axis: ``stall`` (requester stalls; deadlock
     #: cycles are broken by aborting the youngest transaction),
     #: ``abort_requester`` (requester immediately aborts — partially,
-    #: at the innermost nesting level), or ``abort_responder`` (the
-    #: paper's alternative: the holder aborts so the requester runs).
-    policy: str = "stall"
+    #: at the innermost nesting level), ``abort_responder`` (the
+    #: paper's alternative: the holder aborts so the requester runs),
+    #: or ``timestamp`` (the older transaction wins the conflict).
+    resolution: str = ""
+    #: commit-arbitration axis for lazy-mode commits: ``serial`` (one
+    #: committer at a time, the classic global token) or ``widthN``
+    #: (N read/write-disjoint committers may overlap, N >= 2).
+    arbitration: str = "serial"
     #: cycles to take / restore a register checkpoint at begin / abort.
     checkpoint_cycles: int = 4
     #: cycles to enter the software abort handler (LogTM-SE-style trap).
@@ -154,6 +163,42 @@ class HTMConfig:
     #: its signatures armed and stalls every conflicting neighbour, so
     #: the scheduler avoids it except for runaway transactions.
     tx_slice_grace: int = 10
+
+    def __post_init__(self) -> None:
+        resolution = self.resolution
+        if self.policy:
+            import warnings
+
+            mapped = (
+                "abort_requester" if self.policy == "abort" else self.policy
+            )
+            warnings.warn(
+                f"HTMConfig(policy={self.policy!r}) is deprecated; use "
+                f"HTMConfig(resolution={mapped!r})",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if resolution and resolution != mapped:
+                raise ValueError(
+                    f"conflicting policy={self.policy!r} and "
+                    f"resolution={resolution!r}"
+                )
+            resolution = mapped
+        if not resolution:
+            resolution = "stall"
+        if resolution not in (
+            "stall", "abort_requester", "abort_responder", "timestamp"
+        ):
+            raise ValueError(f"unknown conflict resolution {resolution!r}")
+        arb = self.arbitration
+        if arb != "serial" and not (
+            arb.startswith("width") and arb[5:].isdigit() and int(arb[5:]) >= 2
+        ):
+            raise ValueError(f"unknown commit arbitration {arb!r}")
+        # normalize in place (frozen dataclass): the deprecated field is
+        # cleared so dataclasses.replace() does not re-warn
+        object.__setattr__(self, "policy", "")
+        object.__setattr__(self, "resolution", resolution)
 
 
 @dataclass(frozen=True)

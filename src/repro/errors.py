@@ -91,6 +91,54 @@ class PoolExhausted(ReproError, RuntimeError):
         self.live_lines = live_lines
 
 
+class UnknownSchemeError(ReproError, ValueError):
+    """A scheme name matched neither a registered scheme nor a legal
+    axis composition.
+
+    Inherits ``ValueError`` so pre-existing callers that catch the old
+    bare ``ValueError`` from ``make_version_manager`` keep working.
+    ``suggestions`` holds near-miss registered names (close spellings),
+    already rendered into the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        name: str = "",
+        suggestions: Sequence[str] = (),
+    ) -> None:
+        self.name = name
+        self.suggestions = tuple(suggestions)
+        if self.suggestions:
+            message += f"; did you mean {' or '.join(map(repr, self.suggestions))}?"
+        super().__init__(message)
+
+
+class IncompatiblePolicyError(ReproError, ValueError):
+    """A scheme composition crossed physically-incompatible policy axes.
+
+    ``axes`` is the offending ``{axis: value}`` mapping and ``reason``
+    the one-line physical justification (both rendered into the
+    message), so the legality-matrix tests and CLI errors can explain
+    *why* a combination is rejected, not just that it is.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        axes: Mapping[str, str] | None = None,
+        reason: str = "",
+    ) -> None:
+        self.axes = dict(axes) if axes else {}
+        self.reason = reason
+        if self.axes:
+            detail = ", ".join(f"{k}={v}" for k, v in self.axes.items())
+            message = f"{message} [{detail}]"
+        if reason:
+            message = f"{message}: {reason}"
+        super().__init__(message)
+
+
 class OracleViolation(ReproError, AssertionError):
     """The atomicity oracle refuted a run.
 

@@ -1,0 +1,570 @@
+"""The four composable policy axes of an HTM scheme.
+
+The paper frames SUV as one point in a *design space* of version-
+management choices (Section II's taxonomy).  This module makes that
+space first-class: a scheme is no longer one monolithic
+:class:`~repro.htm.vm.base.VersionManager` class but a composition of
+four independent axes, mirroring the parameterization of the gem5/
+Murcia HTM model (``lazy_vm`` / lazy conflict detection / resolution
+policy as independent config knobs):
+
+``vm`` — *where speculative bytes live*
+    ``undo`` (LogTM-SE: in place + undo log), ``flash`` (FasTM: new
+    values pinned in L1), ``redirect`` (SUV: redirect table + preserved
+    pool), ``buffer`` (TCC-style redo-in-L1).
+
+``cd`` — *when conflicts are detected*
+    ``eager`` (per access, via coherence + signatures), ``lazy``
+    (invisible until a validating commit), ``adaptive`` (DynTM's
+    history-based per-site selector between the two).
+
+``resolution`` — *who yields on an eager conflict*
+    ``stall`` (requester waits; wait-for cycles abort the youngest),
+    ``abort_requester`` (requester partially aborts), ``abort_responder``
+    (the paper's alternative: the holder aborts), ``timestamp``
+    (older transaction wins, younger aborts — livelock-free by age).
+
+``arbitration`` — *how lazy commits serialize*
+    ``serial`` (one global commit token, TCC-style) or ``widthN``
+    (``width2``, ``width4``, ...: up to N non-conflicting lazy
+    transactions may be between validation and publication at once).
+
+Every class here is a small, fully-typed policy object; the
+:class:`~repro.htm.vm.composed.ComposedVM` wrapper and the simulator
+consume them without ``Any`` at the seams.  Legality of a combination
+is a physical property, not a registry accident —
+:meth:`SchemeComposition.check` rejects impossible crossings with a
+typed :class:`~repro.errors.IncompatiblePolicyError` carrying the
+reason.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, ClassVar, Iterator, Mapping
+
+from repro.errors import IncompatiblePolicyError, UnknownSchemeError
+
+if TYPE_CHECKING:  # only for annotations; simulator imports us at runtime
+    from repro.htm.transaction import TxFrame
+    from repro.simulator import Simulator, _Core
+
+# ---------------------------------------------------------------------------
+# axis value spaces
+# ---------------------------------------------------------------------------
+
+#: version-management axis: where speculative bytes live
+VM_AXIS: tuple[str, ...] = ("undo", "flash", "redirect", "buffer")
+#: conflict-detection axis: when conflicts are detected
+CD_AXIS: tuple[str, ...] = ("eager", "lazy", "adaptive")
+#: resolution axis: who yields on an eager conflict
+RESOLUTION_AXIS: tuple[str, ...] = (
+    "stall", "abort_requester", "abort_responder", "timestamp"
+)
+#: arbitration axis values enumerated by the registry; ``parse_width``
+#: accepts any ``widthN`` with N >= 2 beyond these
+ARBITRATION_AXIS: tuple[str, ...] = ("serial", "width2", "width4")
+
+#: the six canonical scheme names mapped onto their (vm, cd) axes; the
+#: resolution and arbitration axes of a canonical scheme come from
+#: ``HTMConfig`` (default stall + serial)
+CANONICAL_AXES: Mapping[str, tuple[str, str]] = {
+    "logtm-se": ("undo", "eager"),
+    "fastm": ("flash", "eager"),
+    "suv": ("redirect", "eager"),
+    "lazy": ("buffer", "eager"),
+    "dyntm": ("flash", "adaptive"),
+    "dyntm+suv": ("redirect", "adaptive"),
+}
+
+
+def parse_width(arbitration: str) -> int:
+    """Commit width of an arbitration axis value (``serial`` = 1)."""
+    if arbitration == "serial":
+        return 1
+    if arbitration.startswith("width"):
+        digits = arbitration[len("width"):]
+        if digits.isdigit() and int(digits) >= 2:
+            return int(digits)
+    raise IncompatiblePolicyError(
+        "bad arbitration axis value",
+        axes={"arbitration": arbitration},
+        reason="expected 'serial' or 'widthN' with N >= 2",
+    )
+
+
+def _normalize_axis(value: str) -> str:
+    return value.strip().lower().replace("-", "_")
+
+
+# ---------------------------------------------------------------------------
+# the composition value
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SchemeComposition:
+    """One point of the four-axis design space, as a hashable value."""
+
+    vm: str = "redirect"
+    cd: str = "eager"
+    resolution: str = "stall"
+    arbitration: str = "serial"
+
+    @property
+    def name(self) -> str:
+        """The canonical composed scheme name, ``vm+cd+resolution+arb``."""
+        return f"{self.vm}+{self.cd}+{self.resolution}+{self.arbitration}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "vm": self.vm,
+            "cd": self.cd,
+            "resolution": self.resolution,
+            "arbitration": self.arbitration,
+        }
+
+    # -- legality -------------------------------------------------------
+    def illegal_reason(self) -> str | None:
+        """Why this combination is physically impossible, or ``None``."""
+        if self.vm not in VM_AXIS:
+            return f"unknown vm axis value (choose from {', '.join(VM_AXIS)})"
+        if self.cd not in CD_AXIS:
+            return f"unknown cd axis value (choose from {', '.join(CD_AXIS)})"
+        if self.resolution not in RESOLUTION_AXIS:
+            return (
+                "unknown resolution axis value "
+                f"(choose from {', '.join(RESOLUTION_AXIS)})"
+            )
+        try:
+            width = parse_width(self.arbitration)
+        except IncompatiblePolicyError as exc:
+            return exc.reason
+        if self.cd == "lazy" and self.vm in ("undo", "flash"):
+            return (
+                f"{self.vm} version management updates lines the coherence "
+                "protocol can see (in-place undo log / L1 write ownership), "
+                "so the transaction cannot stay invisible until commit as "
+                "lazy conflict detection requires"
+            )
+        if self.cd == "adaptive" and self.vm == "buffer":
+            return (
+                "adaptive detection exists to escape lazy buffering when the "
+                "L1 overflows, but a buffer VM still buffers in eager mode — "
+                "the adaptation would have no overflow-tolerant fallback"
+            )
+        if self.cd == "eager" and width != 1:
+            return (
+                "commit width only arbitrates lazy commits; under eager "
+                "detection no transaction takes the arbitrated commit path, "
+                "so a non-serial width would silently mean nothing"
+            )
+        return None
+
+    def check(self) -> "SchemeComposition":
+        """Validate; returns self or raises :class:`IncompatiblePolicyError`."""
+        reason = self.illegal_reason()
+        if reason is not None:
+            raise IncompatiblePolicyError(
+                "illegal policy composition", axes=self.as_dict(), reason=reason
+            )
+        return self
+
+    @property
+    def is_legal(self) -> bool:
+        return self.illegal_reason() is None
+
+    # -- parsing --------------------------------------------------------
+    @classmethod
+    def parse(cls, name: str) -> "SchemeComposition | None":
+        """Parse a composed scheme name; ``None`` if not composition-shaped.
+
+        A composed name has exactly four ``+``-separated axis tokens
+        (which keeps two-token canonical names like ``dyntm+suv`` out of
+        this path).  Returns the composition *unchecked* — callers
+        decide between :meth:`check` and :attr:`is_legal`.
+        """
+        parts = [_normalize_axis(p) for p in name.split("+")]
+        if len(parts) != 4 or not all(parts):
+            return None
+        return cls(vm=parts[0], cd=parts[1],
+                   resolution=parts[2], arbitration=parts[3])
+
+    @classmethod
+    def from_value(
+        cls, value: "str | Mapping[str, str] | SchemeComposition"
+    ) -> "SchemeComposition":
+        """Coerce a name, axes mapping, or composition to a checked value."""
+        if isinstance(value, SchemeComposition):
+            return value.check()
+        if isinstance(value, Mapping):
+            known = {"vm", "cd", "resolution", "arbitration"}
+            unknown = set(value) - known
+            if unknown:
+                raise IncompatiblePolicyError(
+                    "unknown policy axis",
+                    axes={k: str(value[k]) for k in sorted(unknown)},
+                    reason=f"axes are {', '.join(sorted(known))}",
+                )
+            return cls(
+                **{k: _normalize_axis(str(v)) for k, v in value.items()}
+            ).check()
+        comp = cls.parse(value)
+        if comp is None:
+            raise UnknownSchemeError(
+                f"{value!r} is not a composed scheme name "
+                "(expected vm+cd+resolution+arbitration)",
+                name=value,
+            )
+        return comp.check()
+
+
+def compose_scheme(
+    vm: str = "redirect",
+    cd: str = "eager",
+    resolution: str = "stall",
+    arbitration: str = "serial",
+) -> str:
+    """The canonical composed scheme name for the given axes.
+
+    Validates legality (raising :class:`IncompatiblePolicyError` with
+    the physical reason) and normalizes spelling, so the returned name
+    is stable enough to use as a cache key or spec field::
+
+        >>> compose_scheme(vm="redirect", cd="lazy")
+        'redirect+lazy+stall+serial'
+    """
+    return SchemeComposition(
+        vm=_normalize_axis(vm),
+        cd=_normalize_axis(cd),
+        resolution=_normalize_axis(resolution),
+        arbitration=_normalize_axis(arbitration),
+    ).check().name
+
+
+def iter_scheme_space() -> Iterator[SchemeComposition]:
+    """Every enumerable axis combination, legal or not, in axis order."""
+    for vm, cd, resolution, arbitration in product(
+        VM_AXIS, CD_AXIS, RESOLUTION_AXIS, ARBITRATION_AXIS
+    ):
+        yield SchemeComposition(vm, cd, resolution, arbitration)
+
+
+def legal_combinations() -> tuple[SchemeComposition, ...]:
+    """The legal subset of :func:`iter_scheme_space`, in axis order."""
+    return tuple(c for c in iter_scheme_space() if c.is_legal)
+
+
+# ---------------------------------------------------------------------------
+# conflict-detection policies (the ``cd`` axis)
+# ---------------------------------------------------------------------------
+
+class ConflictDetection(ABC):
+    """When conflicts are detected: chooses each attempt's execution mode."""
+
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def mode_for(self, site: int) -> str:
+        """``"eager"`` or ``"lazy"`` for a new outermost attempt at ``site``."""
+
+    def note_outcome(self, frame: "TxFrame", committed: bool) -> None:
+        """Outcome feedback (only the adaptive policy learns from it)."""
+
+
+class EagerCD(ConflictDetection):
+    """Detect on every access via coherence + signatures (LogTM-style)."""
+
+    name = "eager"
+
+    def mode_for(self, site: int) -> str:
+        return "eager"
+
+
+class LazyCD(ConflictDetection):
+    """Stay invisible until a validating, arbitrated commit (TCC-style)."""
+
+    name = "lazy"
+
+    def mode_for(self, site: int) -> str:
+        return "lazy"
+
+
+class AdaptiveCD(ConflictDetection):
+    """DynTM's history-based per-site eager/lazy selector.
+
+    One saturating counter per static transaction site drifts toward
+    lazy when eager attempts keep aborting and back toward eager when
+    lazy runs overflow the L1 or pay heavy commit merges — the exact
+    update rules of :class:`~repro.htm.vm.dyntm.DynTM`.
+    """
+
+    name = "adaptive"
+
+    def __init__(self, counter_bits: int, lazy_threshold: int) -> None:
+        self._counters: dict[int, int] = {}
+        self._max = (1 << counter_bits) - 1
+        self._threshold = lazy_threshold
+
+    def mode_for(self, site: int) -> str:
+        if self._counters.get(site, 0) >= self._threshold:
+            return "lazy"
+        return "eager"
+
+    def note_outcome(self, frame: "TxFrame", committed: bool) -> None:
+        site = frame.site
+        c = self._counters.get(site, 0)
+        if frame.mode == "eager":
+            if not committed:
+                # eager aborts are expensive; drift toward lazy
+                self._counters[site] = min(self._max, c + 1)
+        else:
+            if frame.vm.get("must_abort") == "overflow":
+                # lazy cannot hold the write set: force eager
+                self._counters[site] = 0
+            elif committed and len(frame.vm.get("spec_lines", ())) > 32:
+                # heavy merge: eager would commit for free
+                self._counters[site] = max(0, c - 1)
+
+
+def make_conflict_detection(
+    name: str, counter_bits: int = 2, lazy_threshold: int = 2
+) -> ConflictDetection:
+    """Build a conflict-detection policy by axis value."""
+    if name == "eager":
+        return EagerCD()
+    if name == "lazy":
+        return LazyCD()
+    if name == "adaptive":
+        return AdaptiveCD(counter_bits, lazy_threshold)
+    raise UnknownSchemeError(
+        f"unknown conflict-detection policy {name!r}",
+        name=name, suggestions=CD_AXIS,
+    )
+
+
+# ---------------------------------------------------------------------------
+# resolution policies (the ``resolution`` axis)
+# ---------------------------------------------------------------------------
+
+class ConflictResolution(ABC):
+    """Who yields when an eager conflict is found.
+
+    ``resolve`` runs with the requester ``core`` about to retry ``op``
+    against the transaction mounted on ``holder_idx``; it must leave the
+    requester either stalled, aborting, or scheduled to retry.  The
+    policies drive the simulator through its stall/doom/abort machinery
+    — they own the *decision*, the simulator owns the *mechanics*.
+    """
+
+    name: ClassVar[str] = "abstract"
+
+    @abstractmethod
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        """Resolve one requester-vs-holder conflict."""
+
+
+class StallResolution(ConflictResolution):
+    """Requester stalls; wait-for cycles abort the youngest transaction.
+
+    The paper's default Stall policy: the conflicting requester waits
+    for the holder, and a closed wait-for cycle is broken by aborting
+    the youngest transaction on it (which then backs off and retries).
+    """
+
+    name = "stall"
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        cycle = sim._wait_cycle(core.idx, holder_idx)
+        if cycle:
+            victim_idx = sim._youngest(cycle)
+            if victim_idx == core.idx:
+                core.doomed_depth = 0
+                sim._begin_abort(core)
+                return
+            sim._doom(victim_idx, 0)
+        sim._stall_on(core, holder_idx, op)
+
+
+class AbortRequesterResolution(ConflictResolution):
+    """Requester immediately (partially) aborts and retries.
+
+    The conflicting access belongs to the innermost frame, so a partial
+    abort of that level suffices (LogTM-Nested): outer levels keep
+    their work and the inner body re-executes.
+    """
+
+    name = "abort_requester"
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        core.doomed_depth = len(core.frames) - 1
+        sim._begin_abort(core)
+
+
+class AbortResponderResolution(ConflictResolution):
+    """The holder aborts so the requester is guaranteed to run.
+
+    The paper's alternative: "make the receiving core ... abort its
+    transaction to guarantee the execution of the requester's
+    transaction"; the requester waits out the holder's (brief) abort
+    processing.
+    """
+
+    name = "abort_responder"
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        sim._doom(holder_idx, 0)
+        sim._stall_on(core, holder_idx, op)
+
+
+class TimestampResolution(ConflictResolution):
+    """Age-based: the older transaction wins, the younger yields.
+
+    A greedy timestamp contention manager: an older requester dooms the
+    younger holder and waits out its abort; a younger requester aborts
+    itself (full abort with backoff).  Wait-for edges only ever point
+    from older to younger transactions, so no cycle — and therefore no
+    deadlock or livelock — can form.
+    """
+
+    name = "timestamp"
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        holder = sim.cores[holder_idx]
+        if holder.ctx is None or not holder.frames:
+            # the holder finished in the meantime: retry immediately
+            core.pending_op = op
+            sim._resume_retry(core, 0)
+            return
+        mine = (core.frames[0].timestamp, core.ctx.tid)
+        theirs = (holder.frames[0].timestamp, holder.ctx.tid)
+        if mine < theirs:
+            sim._doom(holder_idx, 0)
+            sim._stall_on(core, holder_idx, op)
+        else:
+            core.doomed_depth = 0
+            sim._begin_abort(core)
+
+
+_RESOLUTIONS: Mapping[str, type[ConflictResolution]] = {
+    cls.name: cls
+    for cls in (
+        StallResolution,
+        AbortRequesterResolution,
+        AbortResponderResolution,
+        TimestampResolution,
+    )
+}
+
+
+def make_resolution(name: str) -> ConflictResolution:
+    """Build a resolution policy by axis value."""
+    cls = _RESOLUTIONS.get(_normalize_axis(name))
+    if cls is None:
+        raise UnknownSchemeError(
+            f"unknown conflict-resolution policy {name!r}",
+            name=name, suggestions=RESOLUTION_AXIS,
+        )
+    return cls()
+
+
+# ---------------------------------------------------------------------------
+# commit-arbitration policies (the ``arbitration`` axis)
+# ---------------------------------------------------------------------------
+
+class CommitArbitration(ABC):
+    """How lazy commits serialize between validation and publication."""
+
+    #: instance attribute (not ClassVar): width arbitration names itself
+    name: str = "abstract"
+
+    @abstractmethod
+    def blocking(self, requester: int) -> int | None:
+        """Core index the requester must wait behind, or ``None`` to go."""
+
+    @abstractmethod
+    def acquire(self, requester: int) -> None:
+        """Grant the requester a commit slot (``blocking`` returned None)."""
+
+    @abstractmethod
+    def release(self, requester: int) -> None:
+        """Release the requester's slot, if it holds one (idempotent)."""
+
+
+class SerialTokenArbitration(CommitArbitration):
+    """One global commit token (TCC-style): at most one lazy transaction
+    is between validation and publication, so the version clock is
+    always current when a committer validates."""
+
+    name = "serial"
+
+    def __init__(self) -> None:
+        self._holder: int | None = None
+
+    def blocking(self, requester: int) -> int | None:
+        holder = self._holder
+        if holder is not None and holder != requester:
+            return holder
+        return None
+
+    def acquire(self, requester: int) -> None:
+        self._holder = requester
+
+    def release(self, requester: int) -> None:
+        if self._holder == requester:
+            self._holder = None
+
+
+class BoundedWidthArbitration(CommitArbitration):
+    """Up to ``width`` lazy transactions may commit concurrently.
+
+    Safe because a committer dooms every lazy transaction whose read
+    set overlaps its write set *before* entering publication
+    (``_doom_lazy_losers``): any two concurrently-admitted committers
+    are therefore read-write disjoint, and functional publication
+    stays atomic per transaction (``memory.bulk_store``).  A requester
+    past the width waits behind the lowest-numbered slot holder.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width < 2:
+            raise IncompatiblePolicyError(
+                "bounded commit width must be >= 2",
+                axes={"arbitration": f"width{width}"},
+                reason="width 1 is the serial token",
+            )
+        self.width = width
+        self.name = f"width{width}"
+        self._holders: set[int] = set()
+
+    def blocking(self, requester: int) -> int | None:
+        holders = self._holders
+        if requester in holders or len(holders) < self.width:
+            return None
+        return min(holders)
+
+    def acquire(self, requester: int) -> None:
+        self._holders.add(requester)
+
+    def release(self, requester: int) -> None:
+        self._holders.discard(requester)
+
+
+def make_arbitration(name: str) -> CommitArbitration:
+    """Build an arbitration policy by axis value (``serial``/``widthN``)."""
+    normalized = _normalize_axis(name)
+    width = parse_width(normalized)  # raises on malformed values
+    if width == 1:
+        return SerialTokenArbitration()
+    return BoundedWidthArbitration(width)

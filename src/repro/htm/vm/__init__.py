@@ -12,13 +12,31 @@
 * :class:`~repro.htm.vm.dyntm.DynTM` — history-based eager/lazy mode
   selector over a pluggable eager VM (FasTM = original DynTM,
   SUV = the paper's DynTM+SUV).
+* :class:`~repro.htm.vm.composed.ComposedVM` — any legal point of the
+  four-axis policy space (:mod:`repro.htm.policy`), assembled from the
+  canonical VMs plus the conflict-detection policy objects.
+
+Scheme lookup goes through :func:`get_scheme` /
+:func:`make_version_manager`, which accept registered names
+(``"suv"``) and composed four-axis names
+(``"redirect+lazy+stall+serial"``, see :func:`compose_scheme`) alike.
 """
 
+from repro.htm.policy import (
+    CommitArbitration,
+    ConflictDetection,
+    ConflictResolution,
+    SchemeComposition,
+    compose_scheme,
+    legal_combinations,
+)
 from repro.htm.vm.base import (
     VersionManager,
     available_schemes,
+    get_scheme,
     make_version_manager,
     register_scheme,
+    resolve_scheme_name,
 )
 
 # scheme modules in registration (= listing) order: baseline first,
@@ -28,15 +46,26 @@ from repro.htm.vm.fastm import FasTM
 from repro.htm.vm.suv import SUV
 from repro.htm.vm.lazy import LazyVM
 from repro.htm.vm.dyntm import DynTM
+from repro.htm.vm.composed import ComposedVM, RedirectLazyVM
 
 __all__ = [
+    "CommitArbitration",
+    "ComposedVM",
+    "ConflictDetection",
+    "ConflictResolution",
     "DynTM",
     "FasTM",
     "LazyVM",
     "LogTMSE",
+    "RedirectLazyVM",
     "SUV",
+    "SchemeComposition",
     "VersionManager",
     "available_schemes",
+    "compose_scheme",
+    "get_scheme",
+    "legal_combinations",
     "make_version_manager",
     "register_scheme",
+    "resolve_scheme_name",
 ]

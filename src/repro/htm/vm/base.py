@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.config import SimConfig
+from repro.errors import UnknownSchemeError
 from repro.htm.transaction import TxFrame
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
 from repro.trace import Tracer
@@ -62,6 +63,12 @@ class VersionManager(ABC):
     """Scheme hook interface; one instance serves every core."""
 
     name: str = "abstract"
+    #: policy-axis labels (see :mod:`repro.htm.policy`): which
+    #: version-management and conflict-detection axis values this class
+    #: realizes.  Canonical schemes pin them; third-party schemes that
+    #: don't fit the axis taxonomy keep the ``custom`` default.
+    vm_axis: str = "custom"
+    cd_axis: str = "eager"
 
     def __init__(self, config: SimConfig, hierarchy: MemoryHierarchy) -> None:
         self.config = config
@@ -263,25 +270,89 @@ def _ensure_builtin_schemes() -> None:
 
 
 def available_schemes() -> tuple[str, ...]:
-    """Canonical names of every registered scheme, in registration order."""
+    """Canonical names of every registered scheme, in registration order.
+
+    Lists the *named* schemes only; the composed four-axis space
+    (``vm+cd+resolution+arbitration`` names, see
+    :func:`repro.htm.policy.legal_combinations`) is enumerated
+    separately so existing listings stay stable.
+    """
     _ensure_builtin_schemes()
     return tuple(_SCHEME_REGISTRY)
+
+
+def resolve_scheme_name(name: str) -> str:
+    """Canonicalize a scheme name: a registered alias or a composed name.
+
+    Registered aliases win (so ``dyntm+suv`` stays the canonical DynTM
+    variant, not a composition); otherwise a four-token
+    ``vm+cd+resolution+arbitration`` name is legality-checked and
+    canonicalized.  Raises :class:`~repro.errors.UnknownSchemeError`
+    with near-miss suggestions, or
+    :class:`~repro.errors.IncompatiblePolicyError` for a well-formed
+    but physically impossible composition.
+    """
+    _ensure_builtin_schemes()
+    canonical = _SCHEME_ALIASES.get(_normalize_scheme_name(name))
+    if canonical is not None:
+        return canonical
+    from repro.htm.policy import SchemeComposition
+
+    composition = SchemeComposition.parse(name)
+    if composition is not None:
+        return composition.check().name
+    import difflib
+
+    registered = available_schemes()
+    suggestions = difflib.get_close_matches(
+        _normalize_scheme_name(name), sorted(_SCHEME_ALIASES), n=3, cutoff=0.6
+    )
+    raise UnknownSchemeError(
+        f"unknown version-management scheme {name!r}; "
+        f"registered: {', '.join(registered)} "
+        "(or a composed vm+cd+resolution+arbitration name)",
+        name=name,
+        suggestions=[_SCHEME_ALIASES.get(s, s) for s in suggestions],
+    )
+
+
+def get_scheme(name: str) -> SchemeFactory:
+    """The factory behind a scheme name (registered or composed).
+
+    The public lookup of the registry: resolves aliases and composed
+    four-axis names alike, raising typed
+    :class:`~repro.errors.UnknownSchemeError` /
+    :class:`~repro.errors.IncompatiblePolicyError` instead of a bare
+    ``KeyError`` on a miss.
+    """
+    canonical = resolve_scheme_name(name)
+    factory = _SCHEME_REGISTRY.get(canonical)
+    if factory is not None:
+        return factory
+    from repro.htm.policy import SchemeComposition
+    from repro.htm.vm.composed import build_composed
+
+    composition = SchemeComposition.from_value(canonical)
+
+    def _factory(
+        config: SimConfig, hierarchy: MemoryHierarchy,
+        composition: "SchemeComposition" = composition,
+    ) -> VersionManager:
+        return build_composed(composition, config, hierarchy)
+
+    return _factory
 
 
 def make_version_manager(
     name: str, config: SimConfig, hierarchy: MemoryHierarchy
 ) -> VersionManager:
-    """Factory by registered scheme name.
+    """Factory by scheme name.
 
     Bundled names: ``logtm-se``, ``fastm``, ``suv``, ``lazy``,
     ``dyntm`` (original, FasTM-based) and ``dyntm+suv``; more can be
-    added with :func:`register_scheme`.
+    added with :func:`register_scheme`.  Composed four-axis names
+    (``redirect+lazy+stall+serial``; see
+    :func:`repro.htm.policy.compose_scheme`) build a
+    :class:`~repro.htm.vm.composed.ComposedVM`.
     """
-    _ensure_builtin_schemes()
-    canonical = _SCHEME_ALIASES.get(_normalize_scheme_name(name))
-    if canonical is None:
-        raise ValueError(
-            f"unknown version-management scheme {name!r}; "
-            f"registered: {', '.join(available_schemes())}"
-        )
-    return _SCHEME_REGISTRY[canonical](config, hierarchy)
+    return get_scheme(name)(config, hierarchy)

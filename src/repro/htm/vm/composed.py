@@ -1,0 +1,321 @@
+"""Version managers assembled from policy axes (see :mod:`repro.htm.policy`).
+
+:class:`ComposedVM` is the runtime shape of a composed scheme name like
+``redirect+lazy+stall+serial``: a thin mode-dispatching wrapper (the
+same delegation pattern as :class:`~repro.htm.vm.dyntm.DynTM`) around
+one carrier VM per execution mode, with the conflict-detection policy
+choosing the mode per attempt.  The resolution and arbitration axes are
+not resolved here — the simulator reads them off
+:attr:`ComposedVM.composition` and instantiates the matching policy
+objects from :mod:`repro.htm.policy`.
+
+:class:`RedirectLazyVM` is the novel hybrid the decomposition unlocks:
+SUV's redirect placement under *lazy* conflict detection.  Writes go to
+private pool lines (naturally invisible — no transient entries are
+published to the shared redirect table during execution), reads record
+line versions for commit-time validation, and commit publishes by
+installing the redirect entries plus one invalidation round trip per
+written line — no data merge, and unlike the L1-buffer lazy VM it
+survives speculative-line eviction (the pool is memory-backed).
+"""
+
+from __future__ import annotations
+
+from repro.config import SimConfig
+from repro.core.redirect_entry import EntryState, RedirectEntry
+from repro.htm.policy import (
+    SchemeComposition,
+    make_conflict_detection,
+)
+from repro.htm.transaction import TxFrame
+from repro.htm.vm.base import VersionManager
+from repro.htm.vm.fastm import FasTM
+from repro.htm.vm.lazy import LazyVM
+from repro.htm.vm.logtm_se import LogTMSE
+from repro.htm.vm.suv import SUV
+from repro.mem.hierarchy import AccessResult, MemoryHierarchy
+from repro.trace import PUBLISH, Tracer
+
+
+class RedirectLazyVM(SUV):
+    """SUV placement under lazy conflict detection (a novel hybrid).
+
+    Differences from eager SUV, all consequences of invisibility:
+
+    * ``pre_write`` never touches the shared redirect table; the
+      mapping lives in the frame's private ``targets`` until commit, so
+      concurrent writers of the same line each buffer into their own
+      pool line (the committer's entry wins at publication).
+    * ``pre_read`` records the line's version against the global
+      version clock; ``validate`` replays the check at commit, exactly
+      like :class:`~repro.htm.vm.lazy.LazyVM`.
+    * ``commit`` is the publication: arbitration delay, then per
+      written line an entry install (fresh or replacing a committed
+      predecessor) plus the invalidation round trip — the data already
+      sits at the redirected address, so nothing moves.
+    * ``abort`` just frees the private pool lines: no table surgery,
+      no log walk, and — unlike the L1-buffer lazy VM — no
+      ``must_abort`` on speculative eviction.
+    """
+
+    name = "redirect-lazy"
+    vm_axis = "redirect"
+    cd_axis = "lazy"
+
+    def __init__(self, config: SimConfig, hierarchy: MemoryHierarchy) -> None:
+        super().__init__(config, hierarchy)
+        #: global line-version clock shared with the simulator for
+        #: commit-time read-set validation (same protocol as LazyVM)
+        self.line_versions: dict[int, int] = {}
+        self.stats.extra.update(validation_failures=0, published_lines=0)
+
+    def uses_local_writes(self) -> bool:
+        # writes land on private pool lines through the ordinary
+        # hierarchy path; no core-local buffering needed
+        return False
+
+    # ------------------------------------------------------------------
+    def pre_read(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        versions = frame.vm.get("read_versions")
+        if versions is None:
+            versions = frame.vm["read_versions"] = {}
+        if line not in versions:
+            versions[line] = self.line_versions.get(line, 0)
+        # committed (VALID) redirections still translate reads; our own
+        # private targets take precedence (read-your-writes placement)
+        return super().pre_read(core, frame, line)
+
+    def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        self.stats.tx_writes += 1
+        own = self._frame_target(frame, line)
+        if own is not None:
+            return 0, own
+        self.stats.first_writes += 1
+        targets = frame.vm.get("targets")
+        if targets is None:
+            targets = frame.vm["targets"] = {}
+        # invisible until commit: allocate a private pool line, publish
+        # nothing — the shared table is only touched at publication
+        new_line, reclaim_cost = self._allocate_or_doom(frame)
+        if new_line is None:
+            return reclaim_cost, line
+        self.stats.extra["redirects"] += 1
+        targets[line] = new_line
+        frame.vm["allocate_write"] = True
+        return reclaim_cost + self.COPY_CYCLES, new_line
+
+    # ------------------------------------------------------------------
+    def validate(self, core: int, frame: TxFrame) -> bool:
+        """Commit-time read-set validation against the version clock."""
+        for line, seen in frame.vm.get("read_versions", {}).items():
+            if self.line_versions.get(line, 0) != seen:
+                self.stats.extra["validation_failures"] += 1
+                return False
+        return True
+
+    def commit(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        if not outermost:
+            return 2
+        latency = self.config.dyntm.commit_arbitration_cycles + self.SWITCH_CYCLES
+        targets = frame.vm.get("targets", {})
+        for line in sorted(targets):
+            pool_line = targets[line]
+            self.stats.extra["published_lines"] += 1
+            entry, extra = self._consult_table(core, line)
+            latency += extra
+            if entry is not None and entry.state is EntryState.VALID:
+                # replace a committed predecessor's mapping in place
+                if self.pool.contains_line(entry.redirected_line):
+                    self.pool.free_line(entry.redirected_line)
+                entry.redirected_line = pool_line
+            else:
+                self.table.insert(
+                    core,
+                    RedirectEntry(line, pool_line, EntryState.VALID, owner=None),
+                )
+                self.summary.add(line)
+            # stale remote copies of the original line die here; the new
+            # data already sits at the redirected address (no merge)
+            latency += self.hierarchy.invalidate_remote(core, line)
+        if self.summary.maybe_rebuild(self.table.iter_valid_lines()):
+            latency += self.config.redirect.software_overhead
+        tr = self.trace
+        if tr is not None and tr.events is not None:
+            tr.emit(tr.clock.now, PUBLISH, core,
+                    data={"lines": len(targets), "redirect": True,
+                          "cycles": latency})
+        return latency
+
+    def abort(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        for pool_line in frame.vm.get("targets", {}).values():
+            if self.pool.contains_line(pool_line):
+                self.pool.free_line(pool_line)
+        return self.SWITCH_CYCLES if outermost else 2
+
+    def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:
+        super().merge_nested(parent, child)
+        parent_versions = parent.vm.setdefault("read_versions", {})
+        for line, seen in child.vm.get("read_versions", {}).items():
+            if line not in parent_versions:
+                parent_versions[line] = seen
+
+
+#: vm-axis value -> carrier class for eager-capable placements
+_EAGER_CARRIERS: dict[str, type[VersionManager]] = {
+    "undo": LogTMSE,
+    "flash": FasTM,
+    "redirect": SUV,
+    "buffer": LazyVM,  # buffer under eager detection = the canonical "lazy"
+}
+
+
+class ComposedVM(VersionManager):
+    """A version manager assembled from a :class:`SchemeComposition`.
+
+    Wraps at most two carrier VMs — one for eager-mode frames, one for
+    lazy-mode frames — and lets the conflict-detection policy pick the
+    mode per outermost attempt.  With ``cd=eager`` or ``cd=lazy`` a
+    single carrier exists and every frame runs through it; ``adaptive``
+    mirrors :class:`~repro.htm.vm.dyntm.DynTM` (eager carrier by the
+    ``vm`` axis, :class:`LazyVM` with redirect publication when the vm
+    axis is ``redirect``).
+    """
+
+    def __init__(
+        self,
+        config: SimConfig,
+        hierarchy: MemoryHierarchy,
+        composition: SchemeComposition,
+    ) -> None:
+        super().__init__(config, hierarchy)
+        composition.check()
+        self.composition = composition
+        self.name = composition.name
+        self.vm_axis = composition.vm
+        self.cd_axis = composition.cd
+        self._cd = make_conflict_detection(
+            composition.cd,
+            counter_bits=config.dyntm.counter_bits,
+            lazy_threshold=config.dyntm.lazy_threshold,
+        )
+        self._eager: VersionManager | None = None
+        self._lazy: VersionManager | None = None
+        if composition.cd == "lazy":
+            if composition.vm == "redirect":
+                self._lazy = RedirectLazyVM(config, hierarchy)
+            else:  # "buffer" (the only other legal lazy placement)
+                self._lazy = LazyVM(config, hierarchy)
+        else:
+            self._eager = _EAGER_CARRIERS[composition.vm](config, hierarchy)
+            if composition.cd == "adaptive":
+                self._lazy = LazyVM(
+                    config, hierarchy,
+                    publish_by_redirect=(composition.vm == "redirect"),
+                )
+        #: the version clock, when any carrier validates against one —
+        #: the simulator bumps it per committed written line
+        for carrier in (self._lazy, self._eager):
+            versions = getattr(carrier, "line_versions", None)
+            if versions is not None:
+                self.line_versions: dict[int, int] = versions
+                break
+        if self._cd.name == "adaptive":
+            self.stats.extra.update(eager_attempts=0, lazy_attempts=0)
+
+    def attach_trace(self, tracer: Tracer) -> None:
+        super().attach_trace(tracer)
+        for carrier in (self._eager, self._lazy):
+            if carrier is not None:
+                carrier.attach_trace(tracer)
+
+    # -- mode selection (the cd axis) -----------------------------------
+    def mode_for(self, core: int, site: int) -> str:
+        mode = self._cd.mode_for(site)
+        if self._cd.name == "adaptive":
+            self.stats.extra[f"{mode}_attempts"] += 1
+        return mode
+
+    def note_outcome(self, core: int, frame: TxFrame, committed: bool) -> None:
+        self._cd.note_outcome(frame, committed)
+
+    # -- delegation (the vm axis) ---------------------------------------
+    def _vm(self, frame: TxFrame) -> VersionManager:
+        carrier = self._lazy if frame.mode == "lazy" else self._eager
+        if carrier is None:  # single-carrier composition: every frame fits
+            carrier = self._eager if self._eager is not None else self._lazy
+        assert carrier is not None
+        return carrier
+
+    def on_begin(self, core: int, frame: TxFrame) -> int:
+        return self._vm(frame).on_begin(core, frame)
+
+    def pre_read(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        return self._vm(frame).pre_read(core, frame, line)
+
+    def pre_write(self, core: int, frame: TxFrame, line: int) -> tuple[int, int]:
+        return self._vm(frame).pre_write(core, frame, line)
+
+    def post_write(
+        self, core: int, frame: TxFrame, line: int, result: AccessResult
+    ) -> int:
+        return self._vm(frame).post_write(core, frame, line, result)
+
+    def commit(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        return self._vm(frame).commit(core, frame, outermost)
+
+    def abort(self, core: int, frame: TxFrame, outermost: bool) -> int:
+        return self._vm(frame).abort(core, frame, outermost)
+
+    def validate(self, core: int, frame: TxFrame) -> bool:
+        return self._vm(frame).validate(core, frame)
+
+    def merge_nested(self, parent: TxFrame, child: TxFrame) -> None:
+        self._vm(parent).merge_nested(parent, child)
+
+    def nontx_translate(self, core: int, line: int) -> tuple[int, int]:
+        carrier = self._eager if self._eager is not None else self._lazy
+        assert carrier is not None
+        return carrier.nontx_translate(core, line)
+
+    # -- per-frame placement decisions ----------------------------------
+    def wants_speculative_marking(self) -> bool:
+        carrier = self._eager if self._eager is not None else self._lazy
+        assert carrier is not None
+        return carrier.wants_speculative_marking()
+
+    def uses_local_writes(self) -> bool:
+        carrier = self._eager if self._eager is not None else self._lazy
+        assert carrier is not None
+        return carrier.uses_local_writes()
+
+    def speculative_for(self, frame: TxFrame) -> bool:
+        return self._vm(frame).wants_speculative_marking()
+
+    def local_writes_for(self, frame: TxFrame) -> bool:
+        return self._vm(frame).uses_local_writes()
+
+    def scheme_stats(self) -> dict[str, float]:
+        out = super().scheme_stats()
+        if self._eager is not None and self._lazy is not None:
+            out.update(
+                {f"eager_{k}": v for k, v in self._eager.scheme_stats().items()}
+            )
+            out.update(
+                {f"lazy_{k}": v for k, v in self._lazy.scheme_stats().items()}
+            )
+        else:
+            # single carrier: it counted everything, so its view wins
+            # (the wrapper's own counters never tick)
+            carrier = self._eager if self._eager is not None else self._lazy
+            assert carrier is not None
+            out.update(carrier.scheme_stats())
+        return out
+
+
+def build_composed(
+    composition: SchemeComposition,
+    config: SimConfig,
+    hierarchy: MemoryHierarchy,
+) -> ComposedVM:
+    """Factory used by the registry for composed scheme names."""
+    return ComposedVM(config, hierarchy, composition)

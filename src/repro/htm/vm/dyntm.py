@@ -31,6 +31,7 @@ class DynTM(VersionManager):
     """Mode-selecting VM delegating to an eager VM and a LazyVM."""
 
     name = "dyntm"
+    cd_axis = "adaptive"
 
     def __init__(
         self, config: SimConfig, hierarchy: MemoryHierarchy, eager_vm: str = "fastm"
@@ -46,6 +47,7 @@ class DynTM(VersionManager):
             config, hierarchy, publish_by_redirect=(eager_vm == "suv")
         )
         self.name = f"dyntm+{self.eager.name}"
+        self.vm_axis = self.eager.vm_axis
         self.line_versions = self.lazy.line_versions
         # per-site saturating counters; >= threshold ⇒ run lazily
         self._counters: dict[int, int] = {}

@@ -26,6 +26,8 @@ class FasTM(VersionManager):
     """L1-pinned eager VM with per-line LogTM-SE fallback on overflow."""
 
     name = "fastm"
+    vm_axis = "flash"
+    cd_axis = "eager"
 
     #: cycles of the flash commit (clear speculative bits)
     COMMIT_CYCLES = 6

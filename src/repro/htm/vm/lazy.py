@@ -31,6 +31,8 @@ class LazyVM(VersionManager):
     """Redo-in-L1 lazy version manager (DynTM's lazy mode)."""
 
     name = "lazy"
+    vm_axis = "buffer"
+    cd_axis = "eager"
 
     FAST_ABORT_CYCLES = 14
 

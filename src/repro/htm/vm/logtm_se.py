@@ -22,6 +22,8 @@ class LogTMSE(VersionManager):
     """Undo-log eager VM (LogTM-SE, Yen et al. HPCA'07)."""
 
     name = "logtm-se"
+    vm_axis = "undo"
+    cd_axis = "eager"
 
     #: cycles to discard the log and checkpoint at commit
     COMMIT_CYCLES = 8

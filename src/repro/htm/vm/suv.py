@@ -48,6 +48,8 @@ class SUV(VersionManager):
     """The single-update version manager (SUV-TM, eager mode)."""
 
     name = "suv"
+    vm_axis = "redirect"
+    cd_axis = "eager"
 
     #: constant cycles to flash-flip the transient entries and update the
     #: summary signature at commit/abort (a parallel hardware operation).

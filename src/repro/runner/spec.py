@@ -28,9 +28,11 @@ from itertools import product
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.config import HTMConfig, SimConfig
+from repro.errors import IncompatiblePolicyError
+from repro.htm.policy import SchemeComposition
 
 #: bump when the spec encoding changes, so stale cache entries never match
-SPEC_FORMAT_VERSION = 2
+SPEC_FORMAT_VERSION = 3
 
 _SCALES = ("tiny", "small", "full")
 _SCALAR_TYPES = (bool, int, float, str, type(None))
@@ -63,12 +65,21 @@ class ExperimentSpec:
     """
 
     workload: str
-    scheme: str = "suv"
+    #: a registered scheme name (``"suv"``), a composed four-axis name
+    #: (``"redirect+lazy+stall+serial"``), or an axes mapping
+    #: (``{"vm": "redirect", "cd": "lazy"}``); mappings and composed
+    #: names normalize to the canonical composed spelling
+    scheme: str | Mapping[str, str] = "suv"
     scale: str = "small"
     seed: int = 3
     cores: int = 16
     threads: int = 0  # 0 = one software thread per core
-    policy: str = "stall"
+    #: deprecated spelling of :attr:`resolution` (kept for old specs)
+    policy: str = ""
+    #: conflict-resolution axis for registered (non-composed) schemes
+    resolution: str = "stall"
+    #: commit-arbitration axis for registered (non-composed) schemes
+    arbitration: str = "serial"
     stagger: int = 512
     verify: bool = True
     max_events: int = 20_000_000
@@ -86,6 +97,33 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         if self.scale not in _SCALES:
             raise ValueError(f"unknown scale {self.scale!r}; choose from {_SCALES}")
+        scheme = self.scheme
+        if isinstance(scheme, Mapping):
+            scheme = SchemeComposition.from_value(scheme).name
+        else:
+            comp = SchemeComposition.parse(scheme)
+            if comp is not None:
+                scheme = comp.check().name
+        object.__setattr__(self, "scheme", scheme)
+        if self.policy:
+            import warnings
+
+            mapped = (
+                "abort_requester" if self.policy == "abort" else self.policy
+            )
+            warnings.warn(
+                f"ExperimentSpec(policy={self.policy!r}) is deprecated; "
+                f"use resolution={mapped!r}",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if self.resolution not in ("", "stall", mapped):
+                raise ValueError(
+                    f"conflicting policy={self.policy!r} and "
+                    f"resolution={self.resolution!r}"
+                )
+            object.__setattr__(self, "resolution", mapped)
+            object.__setattr__(self, "policy", "")
         object.__setattr__(
             self,
             "config_overrides",
@@ -112,7 +150,11 @@ class ExperimentSpec:
         """
         config = SimConfig(
             n_cores=self.cores,
-            htm=HTMConfig(policy=self.policy, start_stagger=self.stagger),
+            htm=HTMConfig(
+                resolution=self.resolution,
+                arbitration=self.arbitration,
+                start_stagger=self.stagger,
+            ),
         )
         top: dict[str, Any] = {}
         sections: dict[str, dict[str, Any]] = {}
@@ -174,18 +216,32 @@ class RunMatrix:
 
     Each sequence field is one axis; :meth:`specs` crosses them in
     workload-major order (workload, then scheme, then scale, seed,
-    cores, threads, policy, stagger, overrides), the order the paper's
-    figures iterate in.  ``overrides`` is an axis of override *sets*:
-    each entry is one ``config_overrides`` mapping.
+    cores, threads, resolution, stagger, overrides), the order the
+    paper's figures iterate in.  ``overrides`` is an axis of override
+    *sets*: each entry is one ``config_overrides`` mapping.
+
+    Two ways to pick schemes: ``schemes`` names registered schemes
+    directly, while the per-axis lists ``vms``/``cds`` (with
+    ``resolutions``/``arbitrations``) sweep the composed policy space —
+    setting either replaces the ``schemes`` axis with the *legal* subset
+    of the vm × cd × resolution × arbitration cross product (illegal
+    combinations are skipped; see :mod:`repro.htm.policy`).
     """
 
     workloads: Sequence[str]
     schemes: Sequence[str] = ("suv",)
+    #: version-management axis values; non-empty switches the matrix to
+    #: composed-scheme expansion (with ``cds``/``resolutions``/
+    #: ``arbitrations``)
+    vms: Sequence[str] = ()
+    #: conflict-detection axis values for composed-scheme expansion
+    cds: Sequence[str] = ()
     scales: Sequence[str] = ("small",)
     seeds: Sequence[int] = (3,)
     cores: Sequence[int] = (16,)
     threads: Sequence[int] = (0,)
-    policies: Sequence[str] = ("stall",)
+    resolutions: Sequence[str] = ("stall",)
+    arbitrations: Sequence[str] = ("serial",)
     staggers: Sequence[int] = (512,)
     overrides: Sequence[Overrides] = ((),)
     #: fault-plan axis: each entry is a spec string ("" = fault-free)
@@ -194,6 +250,41 @@ class RunMatrix:
     verify: bool = True
     check: bool = False
     max_events: int = 20_000_000
+
+    def _scheme_axis(self) -> list[tuple[str, str, str]]:
+        """(scheme, resolution, arbitration) triples to cross over."""
+        if not (self.vms or self.cds):
+            return [
+                (scheme, resolution, arbitration)
+                for scheme, resolution, arbitration in product(
+                    self.schemes, self.resolutions, self.arbitrations
+                )
+            ]
+        triples: list[tuple[str, str, str]] = []
+        for vm, cd, resolution, arbitration in product(
+            self.vms or ("redirect",), self.cds or ("eager",),
+            self.resolutions, self.arbitrations,
+        ):
+            try:
+                comp = SchemeComposition.from_value({
+                    "vm": vm, "cd": cd,
+                    "resolution": resolution, "arbitration": arbitration,
+                })
+            except IncompatiblePolicyError:
+                continue  # physically impossible corner of the sweep
+            triples.append((comp.name, comp.resolution, comp.arbitration))
+        if not triples:
+            raise IncompatiblePolicyError(
+                "no legal scheme in matrix axes",
+                axes={
+                    "vm": ",".join(self.vms) or "redirect",
+                    "cd": ",".join(self.cds) or "eager",
+                    "resolution": ",".join(self.resolutions),
+                    "arbitration": ",".join(self.arbitrations),
+                },
+                reason="every combination in the cross product is illegal",
+            )
+        return triples
 
     def specs(self) -> list[ExperimentSpec]:
         """Expand the cross product into concrete specs."""
@@ -205,7 +296,8 @@ class RunMatrix:
                 seed=seed,
                 cores=n_cores,
                 threads=n_threads,
-                policy=policy,
+                resolution=resolution,
+                arbitration=arbitration,
                 stagger=stagger,
                 verify=self.verify,
                 max_events=self.max_events,
@@ -214,10 +306,10 @@ class RunMatrix:
                 fault_plan=plan,
                 check=self.check,
             )
-            for workload, scheme, scale, seed, n_cores, n_threads, policy,
-                stagger, over, plan in product(
-                    self.workloads, self.schemes, self.scales, self.seeds,
-                    self.cores, self.threads, self.policies, self.staggers,
+            for workload, (scheme, resolution, arbitration), scale, seed,
+                n_cores, n_threads, stagger, over, plan in product(
+                    self.workloads, self._scheme_axis(), self.scales,
+                    self.seeds, self.cores, self.threads, self.staggers,
                     self.overrides, self.fault_plans,
                 )
         ]

@@ -42,6 +42,12 @@ from repro.errors import DeadlockError, InvariantViolation, TransactionError
 from repro.faults import FaultInjector, FaultPlan
 from repro.htm.backoff import BackoffPolicy
 from repro.htm.ops import Barrier, OpenTx, Read, Tx, Work, Write
+from repro.htm.policy import (
+    CommitArbitration,
+    ConflictResolution,
+    make_arbitration,
+    make_resolution,
+)
 from repro.htm.transaction import TxFrame
 from repro.htm.vm.base import VersionManager, make_version_manager
 from repro.mem.hierarchy import MemoryHierarchy
@@ -183,6 +189,9 @@ class SimResult:
     #: isolation-window accounting and latency percentiles (see
     #: :meth:`repro.trace.Tracer.phase_breakdown`)
     phase_breakdown: dict[str, Any] = field(default_factory=dict)
+    #: the four policy-axis values the run executed under
+    #: (``vm``/``cd``/``resolution``/``arbitration``)
+    policy_axes: dict[str, str] = field(default_factory=dict)
 
     @property
     def abort_ratio(self) -> float:
@@ -211,6 +220,7 @@ class SimResult:
             "fault_trace": self.fault_trace,
             "oracle": self.oracle,
             "phase_breakdown": self.phase_breakdown,
+            "policy_axes": self.policy_axes,
         }
 
     @classmethod
@@ -237,6 +247,9 @@ class SimResult:
             fault_trace=list(data.get("fault_trace", ())),
             oracle=data.get("oracle"),
             phase_breakdown=dict(data.get("phase_breakdown", ())),
+            policy_axes={
+                k: str(v) for k, v in dict(data.get("policy_axes", ())).items()
+            },
         )
 
     def to_json(self, indent: int | None = None) -> str:
@@ -287,7 +300,31 @@ class Simulator:
         self._spec_const = self.scheme.wants_speculative_marking()
         self._local_const = self.scheme.uses_local_writes()
         self._mask_of = self._sig_family.mask
-        self._policy = self.config.htm.policy
+        #: the scheme's composition pins the resolution/arbitration axes;
+        #: canonical (single-name) schemes take them from HTMConfig
+        composition = getattr(self.scheme, "composition", None)
+        resolution_name = (
+            composition.resolution if composition is not None
+            else self.config.htm.resolution
+        )
+        arbitration_name = (
+            composition.arbitration if composition is not None
+            else self.config.htm.arbitration
+        )
+        self._resolution: ConflictResolution = make_resolution(resolution_name)
+        #: lazy-commit arbitration (TCC-style serial token by default):
+        #: bounds how many lazy transactions may be between validation
+        #: and publication, so a committer's validation stays current.
+        self._arbitration: CommitArbitration = make_arbitration(arbitration_name)
+        #: the run's axis labels, attached to SimResult, the phase
+        #: breakdown, and the trace metadata
+        self.policy_axes: dict[str, str] = {
+            "vm": getattr(self.scheme, "vm_axis", "custom"),
+            "cd": getattr(self.scheme, "cd_axis", "eager"),
+            "resolution": self._resolution.name,
+            "arbitration": self._arbitration.name,
+        }
+        self.trace.labels.update(self.policy_axes)
         self._stall_period = self.config.htm.stall_retry_period
         if faults is not None and not isinstance(faults, FaultInjector):
             faults = FaultInjector(faults)
@@ -303,10 +340,6 @@ class Simulator:
         self._line_versions: dict[int, int] = getattr(
             self.scheme, "line_versions", {}
         )
-        #: lazy-commit arbitration token (TCC-style): at most one lazy
-        #: transaction may be between validation and publication, so the
-        #: version clock is always current when a committer validates.
-        self._lazy_commit_holder: int | None = None
         self.commits = 0
         self.aborts = 0
         self.tx_attempts = 0
@@ -388,6 +421,7 @@ class Simulator:
             }
         )
         phase["scheme"] = self.scheme.name
+        phase["axes"] = dict(self.policy_axes)
         return SimResult(
             scheme=self.scheme.name,
             total_cycles=total,
@@ -405,6 +439,7 @@ class Simulator:
                 list(self.faults.trace) if self.faults is not None else []
             ),
             phase_breakdown=phase,
+            policy_axes=dict(self.policy_axes),
         )
 
     def wait_graph_dump(self) -> list[dict[str, Any]]:
@@ -648,26 +683,27 @@ class Simulator:
             return
         if outermost:
             if frame.mode == "lazy":
-                holder = self._lazy_commit_holder
-                if holder is not None and holder != core.idx:
-                    # another lazy commit is in flight: arbitration stall
-                    self._stall(core, holder, ("commit", tx_value))
+                arb = self._arbitration
+                arb_holder = arb.blocking(core.idx)
+                if arb_holder is not None:
+                    # no free commit slot: arbitration stall
+                    self._stall(core, arb_holder, ("commit", tx_value))
                     return
-                self._lazy_commit_holder = core.idx
+                arb.acquire(core.idx)
                 if not self.scheme.validate(core.idx, frame):
-                    self._lazy_commit_holder = None
+                    arb.release(core.idx)
                     core.doomed_depth = 0
                     self._begin_abort(core)
                     return
                 blocker = self._lazy_commit_blocker(core, frame)
                 if blocker is not None:
-                    self._lazy_commit_holder = None
+                    arb.release(core.idx)
                     self._stall_on(core, blocker, ("commit", tx_value))
                     return
                 if self._multiplex and self._suspended_blocker(core, frame):
                     # a suspended eager transaction overlaps our write
                     # set: yield the core so it can finish first
-                    self._lazy_commit_holder = None
+                    arb.release(core.idx)
                     core.pending_op = ("commit", tx_value)
                     self._park(core, "stall")
                     return
@@ -691,8 +727,7 @@ class Simulator:
     def _finish_commit(self, core: _Core, tx_value: Any) -> None:
         frame = core.frames.pop()
         core.gen_stack.pop()
-        if self._lazy_commit_holder == core.idx:
-            self._lazy_commit_holder = None
+        self._arbitration.release(core.idx)
         if frame.depth == 0:
             # the isolation window closes here: signatures disarm only
             # once commit processing (repair/merge/bit-flip) finished
@@ -1029,31 +1064,7 @@ class Simulator:
         return None
 
     def _resolve_conflict(self, core: _Core, holder_idx: int, op: Any) -> None:
-        if self._policy == "abort_requester":
-            # the conflicting access belongs to the innermost frame, so a
-            # partial abort of that level suffices (LogTM-Nested): outer
-            # levels keep their work and the inner body re-executes
-            core.doomed_depth = len(core.frames) - 1
-            self._begin_abort(core)
-            return
-        if self._policy == "abort_responder":
-            # the paper's alternative: "make the receiving core ... abort
-            # its transaction to guarantee the execution of the
-            # requester's transaction"; the requester waits out the
-            # holder's (brief) abort processing
-            self._doom(holder_idx, 0)
-            self._stall_on(core, holder_idx, op)
-            return
-        # Stall policy with wait-for cycle detection
-        cycle = self._wait_cycle(core.idx, holder_idx)
-        if cycle:
-            victim_idx = self._youngest(cycle)
-            if victim_idx == core.idx:
-                core.doomed_depth = 0
-                self._begin_abort(core)
-                return
-            self._doom(victim_idx, 0)
-        self._stall_on(core, holder_idx, op)
+        self._resolution.resolve(self, core, holder_idx, op)
 
     def _wait_cycle(self, requester: int, holder: int) -> list[int] | None:
         """Cores on the wait-path if requester→holder closes a cycle."""

@@ -165,6 +165,9 @@ class Tracer:
         #: anything with a ``.now`` cycle counter; the simulator installs
         #: its event queue here so version managers can stamp events
         self.clock: Any = _ZERO_CLOCK
+        #: free-form labels stamped on the trace (the simulator installs
+        #: the run's policy axes: vm/cd/resolution/arbitration)
+        self.labels: dict[str, str] = {}
         # -- always-on metrics ------------------------------------------
         self.windows = 0
         self.windows_committed = 0
@@ -291,7 +294,7 @@ class Tracer:
                 "ph": "M",
                 "pid": 0,
                 "tid": 0,
-                "args": {"name": "repro-sim"},
+                "args": {"name": "repro-sim", **self.labels},
             }
         ]
         for ts, kind, core, tid, data in self.events or ():

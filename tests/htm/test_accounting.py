@@ -53,7 +53,7 @@ def test_accounting_holds_on_real_workload():
 @pytest.mark.parametrize("scheme", ["logtm-se", "suv"])
 def test_wasted_plus_trans_reflect_attempts(scheme):
     sim = Simulator(SimConfig(n_cores=4,
-                              htm=HTMConfig(policy="abort_requester")),
+                              htm=HTMConfig(resolution="abort_requester")),
                     scheme=scheme, seed=11)
     res = sim.run(contended_threads())
     bd = res.breakdown.cycles

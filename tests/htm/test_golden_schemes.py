@@ -1,0 +1,59 @@
+"""Golden-equivalence pins for the six canonical scheme names.
+
+The digests in ``tests/data/golden_schemes.json`` were captured on the
+monolithic-scheme implementation immediately *before* the policy-axis
+refactor.  Every canonical name must keep producing bit-identical
+per-seed results: the refactor recomposed the simulator's conflict
+resolution and commit arbitration out of policy objects, and these pins
+prove the recomposition is an identity for the pre-existing schemes.
+
+If a deliberate behavioural change ever invalidates them, regenerate
+with the recipe in this file's ``_digest`` (and say so in the commit).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.htm.vm.base import available_schemes
+from repro.runner import ExperimentSpec, execute_spec
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_schemes.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+#: (workload, scale, seed, cores) pins; small enough to run in tier 1
+PINS = [("ssca2", "tiny", 3, 4), ("synthetic", "tiny", 7, 4)]
+
+
+def _digest(spec: ExperimentSpec) -> str:
+    res = execute_spec(spec).to_dict()
+    payload = {k: res[k] for k in GOLDEN["fields"]}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("workload,scale,seed,cores", PINS)
+@pytest.mark.parametrize("scheme", available_schemes())
+def test_canonical_scheme_results_are_bit_identical(
+    workload, scale, seed, cores, scheme
+):
+    key = f"{workload}/{scheme}/{scale}/seed{seed}/cores{cores}"
+    assert key in GOLDEN["pins"], f"no golden pin for {key}"
+    spec = ExperimentSpec(
+        workload=workload, scheme=scheme, scale=scale, seed=seed, cores=cores
+    )
+    assert _digest(spec) == GOLDEN["pins"][key], (
+        f"{key} diverged from its pre-refactor pin: the policy-axis "
+        "decomposition must keep canonical schemes bit-identical"
+    )
+
+
+def test_every_golden_pin_is_exercised():
+    exercised = {
+        f"{workload}/{scheme}/{scale}/seed{seed}/cores{cores}"
+        for workload, scale, seed, cores in PINS
+        for scheme in available_schemes()
+    }
+    assert exercised == set(GOLDEN["pins"])

@@ -18,7 +18,7 @@ SHARED = 0x9000
 def big_abort_run(scheme: str, n_lines: int, seed=3):
     """A transaction with an n-line write set loses to an older holder
     and must roll back; returns its Aborting time."""
-    cfg = SimConfig(n_cores=4, htm=HTMConfig(policy="abort_requester"))
+    cfg = SimConfig(n_cores=4, htm=HTMConfig(resolution="abort_requester"))
     sim = Simulator(cfg, scheme=scheme, seed=seed)
 
     def holder():
@@ -71,7 +71,7 @@ def test_scheme_ordering_of_abort_windows():
 def test_neighbour_stall_tracks_abort_window(scheme, expect_flat):
     """A third thread touching the victim's data during rollback stalls
     for (roughly) the length of the repair window."""
-    cfg = SimConfig(n_cores=4, htm=HTMConfig(policy="abort_requester"))
+    cfg = SimConfig(n_cores=4, htm=HTMConfig(resolution="abort_requester"))
     sim = Simulator(cfg, scheme=scheme, seed=4)
     lines = [0x20000 + i * 64 for i in range(64)]
 

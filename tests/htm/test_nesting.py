@@ -10,7 +10,7 @@ SCHEMES = ["logtm-se", "fastm", "suv"]
 
 
 def run(threads, scheme="suv", policy="stall", seed=5):
-    cfg = SimConfig(n_cores=4, htm=HTMConfig(policy=policy))
+    cfg = SimConfig(n_cores=4, htm=HTMConfig(resolution=policy))
     sim = Simulator(cfg, scheme=scheme, seed=seed)
     return sim.run(threads), sim
 

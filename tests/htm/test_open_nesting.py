@@ -8,7 +8,7 @@ from repro.simulator import Simulator
 
 
 def run(threads, scheme="suv", policy="stall", seed=8):
-    cfg = SimConfig(n_cores=4, htm=HTMConfig(policy=policy))
+    cfg = SimConfig(n_cores=4, htm=HTMConfig(resolution=policy))
     sim = Simulator(cfg, scheme=scheme, seed=seed)
     return sim.run(threads, max_events=10_000_000)
 

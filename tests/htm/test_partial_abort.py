@@ -8,7 +8,7 @@ from repro.simulator import Simulator
 
 
 def run(threads, scheme="suv", seed=5):
-    cfg = SimConfig(n_cores=4, htm=HTMConfig(policy="abort_requester"))
+    cfg = SimConfig(n_cores=4, htm=HTMConfig(resolution="abort_requester"))
     sim = Simulator(cfg, scheme=scheme, seed=seed)
     return sim.run(threads), sim
 

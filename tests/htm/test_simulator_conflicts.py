@@ -112,7 +112,7 @@ def test_aborted_tx_work_counts_as_wasted():
 
     res = run_threads(
         [winner, loser], scheme="logtm-se",
-        config=small_config(htm=HTMConfig(policy="abort_requester")),
+        config=small_config(htm=HTMConfig(resolution="abort_requester")),
     )
     assert res.aborts >= 1
     assert res.breakdown.cycles["Wasted"] > 0
@@ -162,7 +162,7 @@ def test_abort_discards_speculative_state(scheme):
 
     res = run_threads(
         [t0, t1], scheme=scheme,
-        config=small_config(htm=HTMConfig(policy="abort_requester")),
+        config=small_config(htm=HTMConfig(resolution="abort_requester")),
     )
     # whichever order things resolved, the final value is a committed one
     assert res.memory[a] in (111, 222)
@@ -190,7 +190,7 @@ def test_repair_pathology_logtm_aborting_time():
         yield Work(120)
         yield Tx(body)
 
-    cfg = small_config(htm=HTMConfig(policy="stall"))
+    cfg = small_config(htm=HTMConfig(resolution="stall"))
 
     def run(scheme):
         # seed chosen arbitrarily; deterministic comparison

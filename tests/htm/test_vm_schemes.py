@@ -76,7 +76,7 @@ def test_logtm_logs_once_per_line():
 
 
 def test_logtm_abort_restores_per_line():
-    sim = Simulator(cfg(htm=HTMConfig(policy="abort_requester")),
+    sim = Simulator(cfg(htm=HTMConfig(resolution="abort_requester")),
                     scheme="logtm-se")
     a = 0x9000
 
@@ -136,7 +136,7 @@ def test_fastm_overflow_degenerates_to_logging():
 
 
 def test_fastm_fast_abort_without_overflow_is_constant():
-    sim = Simulator(cfg(htm=HTMConfig(policy="abort_requester")),
+    sim = Simulator(cfg(htm=HTMConfig(resolution="abort_requester")),
                     scheme="fastm")
     a = 0x9000
 
@@ -211,7 +211,7 @@ def test_suv_redirect_back_disabled_keeps_entry():
 
 
 def test_suv_abort_frees_pool_and_removes_entries():
-    sim = Simulator(cfg(htm=HTMConfig(policy="abort_requester")), scheme="suv")
+    sim = Simulator(cfg(htm=HTMConfig(resolution="abort_requester")), scheme="suv")
     a = 0x9000
 
     def holder():

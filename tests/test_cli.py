@@ -149,3 +149,73 @@ def test_list_mentions_fault_plans(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "fault plans:" in out and "tx-kill" in out
+
+
+def test_schemes_command_table(capsys):
+    assert main(["schemes"]) == 0
+    out = capsys.readouterr().out
+    assert "canonical schemes" in out
+    assert "redirect" in out and "adaptive" in out
+    assert "legal of" in out
+
+
+def test_schemes_list_json_smoke(capsys):
+    import json
+
+    assert main(["schemes", "--list", "--json"]) == 0
+    names = json.loads(capsys.readouterr().out)
+    assert "redirect+lazy+stall+serial" in names
+    assert "undo+eager+timestamp+serial" in names
+    assert "undo+lazy+stall+serial" not in names  # illegal: not listed
+
+    assert main(["schemes", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["counts"]["legal"] == len(doc["legal"])
+    assert doc["counts"]["total"] == len(doc["legal"]) + len(doc["illegal"])
+    assert all(row["reason"] for row in doc["illegal"])
+    assert {row["name"] for row in doc["canonical"]} == set(SCHEMES)
+
+
+def test_schemes_markdown_matches_registry(capsys):
+    assert main(["schemes", "--markdown"]) == 0
+    out = capsys.readouterr().out
+    assert "| Scheme | VM axis | CD axis |" in out
+    for scheme in SCHEMES:
+        assert f"`{scheme}`" in out
+
+
+def test_run_accepts_composed_scheme_name(capsys):
+    rc = main(["run", "ssca2", "redirect+lazy+stall+serial",
+               "--scale", "tiny", "--cores", "4", "--check"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "axes: vm=redirect cd=lazy resolution=stall arbitration=serial" in out
+    assert "oracle: PASSED" in out
+
+
+def test_run_composes_scheme_from_axis_flags(capsys):
+    rc = main(["run", "ssca2", "--vm", "undo", "--resolution", "timestamp",
+               "--scale", "tiny", "--cores", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "under undo+eager+timestamp+serial" in out
+
+
+def test_run_rejects_unknown_and_illegal_schemes(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "ssca2", "sub"])
+    assert "did you mean" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "ssca2", "undo+lazy+stall+serial"])
+    assert "coherence" in capsys.readouterr().err
+
+
+def test_matrix_sweeps_policy_axes(capsys, tmp_path):
+    rc = main(["matrix", "--workloads", "ssca2",
+               "--vms", "redirect", "buffer", "--cds", "lazy",
+               "--scale", "tiny", "--cores", "4", "--jobs", "1",
+               "--cache-dir", str(tmp_path / "cache"), "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "redirect+lazy+stall+serial" in out
+    assert "buffer+lazy+stall+serial" in out

@@ -172,9 +172,29 @@ def test_injector_requires_known_handler():
 # ----------------------------------------------------------------------
 # functional correctness under every preset, every scheme
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("scheme", ["suv", "logtm-se", "lazy", "dyntm+suv"])
+@pytest.mark.parametrize(
+    "scheme",
+    ["suv", "logtm-se", "lazy", "dyntm+suv", "redirect+lazy+stall+serial"],
+)
 @pytest.mark.parametrize("preset", sorted(PRESETS))
 def test_presets_preserve_correctness(scheme, preset):
     sim, res, program = run_sim(PRESETS[preset], scheme=scheme, oracle=True)
     assert sim.oracle.verify()["passed"]
     program.verify(res.memory)
+
+
+@pytest.mark.parametrize("workload", ["synthetic", "ssca2"])
+@pytest.mark.parametrize("plan", ["tx-kill", "pool-pressure"])
+def test_fault_campaign_covers_suv_lazy_hybrid(workload, plan):
+    """The SUV-VM + lazy-CD hybrid keeps atomicity under injected faults
+    on both campaign workloads (the CI fault-campaign job runs the same
+    combination end-to-end through the CLI)."""
+    from repro.runner import ExperimentSpec, execute_spec
+
+    spec = ExperimentSpec(
+        workload=workload, scheme="redirect+lazy+stall+serial",
+        scale="tiny", cores=4, fault_plan=plan, check=True,
+    )
+    res = execute_spec(spec)
+    assert res.oracle is not None and res.oracle["passed"]
+    assert res.fault_trace, "the plan must actually inject"
