@@ -7,20 +7,20 @@ from conftest import F, L, S, emit, geomean
 from repro.stats.breakdown import COMPONENTS
 from repro.stats.charts import breakdown_chart
 from repro.stats.report import format_table
-from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES
+from repro.workloads import HIGH_CONTENTION, STAMP_APPS
 
 
 def test_figure6_breakdown(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        results.update(sim_cache.run_grid(WORKLOAD_NAMES, (L, F, S)))
+        results.update(sim_cache.run_grid(STAMP_APPS, (L, F, S)))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = []
-    for app in WORKLOAD_NAMES:
+    for app in STAMP_APPS:
         base = results[(app, L)].breakdown.total or 1
         for scheme, label in ((L, "L"), (F, "F"), (S, "S")):
             res = results[(app, scheme)]
@@ -39,7 +39,7 @@ def test_figure6_breakdown(benchmark, sim_cache):
 
     # the figure itself, as stacked bars
     charts = []
-    for app in WORKLOAD_NAMES:
+    for app in STAMP_APPS:
         charts.append(breakdown_chart(
             {
                 f"{app}/L": results[(app, L)].breakdown,
@@ -51,7 +51,7 @@ def test_figure6_breakdown(benchmark, sim_cache):
 
     # headline speedups (execution-time ratios, geometric mean)
     lines = [table, "", *charts, ""]
-    for label, apps in (("all 8 applications", WORKLOAD_NAMES),
+    for label, apps in (("all 8 applications", STAMP_APPS),
                         ("5 high-contention", HIGH_CONTENTION)):
         over_l = geomean([
             results[(a, L)].total_cycles / results[(a, S)].total_cycles
@@ -69,7 +69,7 @@ def test_figure6_breakdown(benchmark, sim_cache):
     emit("figure6_breakdown", "\n".join(lines))
 
     # the paper's ordering must hold
-    for app in WORKLOAD_NAMES:
+    for app in STAMP_APPS:
         assert results[(app, S)].total_cycles <= results[(app, L)].total_cycles, (
             f"SUV slower than LogTM-SE on {app}"
         )

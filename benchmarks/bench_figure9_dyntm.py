@@ -6,20 +6,20 @@ all 8 applications and 18.6% over the 5 high-contention ones."""
 from conftest import D, DS, emit, geomean
 from repro.stats.breakdown import COMPONENTS
 from repro.stats.report import format_table
-from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES
+from repro.workloads import HIGH_CONTENTION, STAMP_APPS
 
 
 def test_figure9_dyntm(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        results.update(sim_cache.run_grid(WORKLOAD_NAMES, (D, DS)))
+        results.update(sim_cache.run_grid(STAMP_APPS, (D, DS)))
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = []
-    for app in WORKLOAD_NAMES:
+    for app in STAMP_APPS:
         base = results[(app, D)].breakdown.total or 1
         for scheme, label in ((D, "D"), (DS, "D+S")):
             res = results[(app, scheme)]
@@ -36,7 +36,7 @@ def test_figure9_dyntm(benchmark, sim_cache):
     )
 
     lines = [table, ""]
-    for label, apps in (("all 8 applications", WORKLOAD_NAMES),
+    for label, apps in (("all 8 applications", STAMP_APPS),
                         ("5 high-contention", HIGH_CONTENTION)):
         speed = geomean([
             results[(a, D)].total_cycles / results[(a, DS)].total_cycles

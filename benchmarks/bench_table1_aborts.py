@@ -5,14 +5,14 @@ STAMP-like suite under the LogTM-SE baseline."""
 from conftest import L, emit
 from repro.data import ABORT_RATIO_STUDIES
 from repro.stats.report import format_table
-from repro.workloads import WORKLOAD_NAMES
+from repro.workloads import STAMP_APPS
 
 
 def test_table1_literature_and_measured(benchmark, sim_cache):
     measured = {}
 
     def run_all():
-        for app in WORKLOAD_NAMES:
+        for app in STAMP_APPS:
             measured[app] = sim_cache.run(app, L)
         return measured
 
@@ -30,7 +30,7 @@ def test_table1_literature_and_measured(benchmark, sim_cache):
     ours_rows = [
         (app, f"{measured[app].abort_ratio:.1%}",
          measured[app].aborts, measured[app].commits)
-        for app in WORKLOAD_NAMES
+        for app in STAMP_APPS
     ]
     ours = format_table(
         ["workload", "abort ratio", "aborts", "commits"],
@@ -40,4 +40,4 @@ def test_table1_literature_and_measured(benchmark, sim_cache):
     emit("table1_aborts", lit + "\n\n" + ours)
 
     # the motivation holds here too: the high-contention apps abort a lot
-    assert any(measured[a].abort_ratio > 0.3 for a in WORKLOAD_NAMES)
+    assert any(measured[a].abort_ratio > 0.3 for a in STAMP_APPS)

@@ -3,7 +3,7 @@ contention class of each application as our scaled inputs produce them."""
 
 from conftest import S, emit
 from repro.stats.report import format_table
-from repro.workloads import HIGH_CONTENTION, WORKLOAD_NAMES, make_workload
+from repro.workloads import HIGH_CONTENTION, STAMP_APPS, make_workload
 
 #: the paper's reported mean transaction lengths (instructions)
 PAPER_LENGTH = {
@@ -16,14 +16,14 @@ def test_table4_characteristics(benchmark, sim_cache):
     results = {}
 
     def run_all():
-        for app in WORKLOAD_NAMES:
+        for app in STAMP_APPS:
             results[app] = sim_cache.run(app, S)
         return results
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     rows = []
-    for app in WORKLOAD_NAMES:
+    for app in STAMP_APPS:
         res = results[app]
         mean_len = (res.breakdown.cycles["Trans"] / res.commits
                     if res.commits else 0)
@@ -47,7 +47,7 @@ def test_table4_characteristics(benchmark, sim_cache):
     # labyrinth and bayes the longest, ssca2 and kmeans the shortest
     lengths = {
         app: results[app].breakdown.cycles["Trans"] / max(results[app].commits, 1)
-        for app in WORKLOAD_NAMES
+        for app in STAMP_APPS
     }
     assert lengths["labyrinth"] > lengths["intruder"]
     assert lengths["bayes"] > lengths["kmeans"]

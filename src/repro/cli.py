@@ -82,6 +82,9 @@ def _spec_from_args(
     args: argparse.Namespace, scheme, **config_overrides
 ) -> ExperimentSpec:
     """The experiment an ``argparse`` namespace describes."""
+    versions_k = getattr(args, "versions_k", 0)
+    if versions_k:
+        config_overrides.setdefault("redirect.versions_k", versions_k)
     return ExperimentSpec(
         workload=args.workload,
         scheme=scheme,
@@ -567,6 +570,9 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "or inline FaultPlan JSON")
     p.add_argument("--check", action="store_true",
                    help="run the atomicity oracle after the simulation")
+    p.add_argument("--versions-k", type=int, default=0,
+                   help="mvsuv: committed versions retained per line "
+                        "(0 = config default)")
 
 
 def _add_jobs(p: argparse.ArgumentParser) -> None:
@@ -586,7 +592,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("scheme", type=_scheme_name, nargs="?", default="suv",
                    help="a registered scheme name or a composed "
                         "vm+cd+resolution+arbitration name")
-    p.add_argument("--vm", choices=("undo", "flash", "redirect", "buffer"),
+    p.add_argument("--vm",
+                   choices=("undo", "flash", "redirect", "buffer", "mvsuv"),
                    help="version-management axis; with --cd/--resolution/"
                         "--arbitration this composes a scheme and "
                         "overrides the positional name")
@@ -631,7 +638,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--schemes", nargs="+", default=["logtm-se", "fastm", "suv"],
                    type=_scheme_name)
     p.add_argument("--vms", nargs="+", default=[],
-                   choices=("undo", "flash", "redirect", "buffer"),
+                   choices=("undo", "flash", "redirect", "buffer", "mvsuv"),
                    help="version-management axis sweep; with --cds/"
                         "--resolution/--arbitration replaces --schemes by "
                         "the legal composed cross product")

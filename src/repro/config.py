@@ -108,6 +108,10 @@ class RedirectConfig:
     #: assumption).  With a cap, allocation past it raises a typed
     #: ``PoolExhausted`` that SUV converts into an abort-with-backoff.
     pool_max_pages: int = 0
+    #: committed versions retained per line by the multiversioned SUV
+    #: extension (``vm=mvsuv``); plain SUV keeps exactly the current
+    #: version and ignores this knob.  Must be >= 1.
+    versions_k: int = 4
     #: redirect summary signature used to filter lookups (2 Kbit + a 2 Kbit
     #: "written once" bit-vector acting as a Bloom counter, Figure 5).
     summary_bits: int = 2048

@@ -283,9 +283,24 @@ class RedirectTable:
                 seen.add(id(entry))
                 yield entry
 
+    def iter_live_lines(self):
+        """Original lines of every non-free entry, at any level.
+
+        This is the set a summary-signature rebuild must cover: a
+        transient entry steers accesses for its owner *and* may revert
+        to globally ``VALID`` when its transaction aborts (the
+        redirect-back path), so dropping its bits would turn the
+        filter's one guarantee — no false negatives — into a lie.
+        """
+        seen: set[int] = set()
+        for entry in self.iter_entries():
+            if not entry.is_free and entry.orig_line not in seen:
+                seen.add(entry.orig_line)
+                yield entry.orig_line
+
     def iter_valid_lines(self):
-        """Original lines of every globally-valid entry (for summary
-        rebuilds); deduplicated across placement levels."""
+        """Original lines of every globally-valid entry; deduplicated
+        across placement levels (introspection/debugging helper)."""
         seen: set[int] = set()
         for tbl in self.l1_tables:
             for entry in tbl.values():
@@ -297,6 +312,15 @@ class RedirectTable:
                 if entry.state.value == (1, 1) and entry.orig_line not in seen:
                     seen.add(entry.orig_line)
                     yield entry.orig_line
+        # VALID entries swapped out to the software overflow area are
+        # still globally live: omitting them from a summary rebuild
+        # would produce false *negatives* — accesses silently bypassing
+        # a committed redirection (stale reads, duplicated entries,
+        # leaked pool lines)
+        for entry in self._mem.values():
+            if entry.state.value == (1, 1) and entry.orig_line not in seen:
+                seen.add(entry.orig_line)
+                yield entry.orig_line
         for entry in self._mem.values():
             if entry.state.value == (1, 1) and entry.orig_line not in seen:
                 seen.add(entry.orig_line)

@@ -52,11 +52,17 @@ class Tx:
     """Run ``body()`` as a transaction (nested if yielded inside one).
 
     ``site`` identifies the static transaction site, used by DynTM's
-    history-based mode selector.
+    history-based mode selector.  ``read_only`` declares the body free
+    of transactional stores; under a multiversioned scheme
+    (``vm=mvsuv``) a declared read-only transaction runs as a snapshot
+    reader that never joins the conflict graph.  Other schemes ignore
+    the flag.  A declared-read-only body that stores anyway is aborted
+    and demoted to an ordinary (conflict-detected) transaction.
     """
 
     body: Callable[[], Generator]
     site: int = 0
+    read_only: bool = False
 
 
 @dataclass(frozen=True, slots=True)

@@ -11,7 +11,9 @@ policy as independent config knobs):
 ``vm`` — *where speculative bytes live*
     ``undo`` (LogTM-SE: in place + undo log), ``flash`` (FasTM: new
     values pinned in L1), ``redirect`` (SUV: redirect table + preserved
-    pool), ``buffer`` (TCC-style redo-in-L1).
+    pool), ``buffer`` (TCC-style redo-in-L1), ``mvsuv`` (multiversioned
+    SUV: redirect table + bounded per-line version chains serving
+    snapshot reads to read-only transactions).
 
 ``cd`` — *when conflicts are detected*
     ``eager`` (per access, via coherence + signatures), ``lazy``
@@ -56,7 +58,7 @@ if TYPE_CHECKING:  # only for annotations; simulator imports us at runtime
 # ---------------------------------------------------------------------------
 
 #: version-management axis: where speculative bytes live
-VM_AXIS: tuple[str, ...] = ("undo", "flash", "redirect", "buffer")
+VM_AXIS: tuple[str, ...] = ("undo", "flash", "redirect", "buffer", "mvsuv")
 #: conflict-detection axis: when conflicts are detected
 CD_AXIS: tuple[str, ...] = ("eager", "lazy", "adaptive")
 #: resolution axis: who yields on an eager conflict
@@ -77,6 +79,7 @@ CANONICAL_AXES: Mapping[str, tuple[str, str]] = {
     "lazy": ("buffer", "eager"),
     "dyntm": ("flash", "adaptive"),
     "dyntm+suv": ("redirect", "adaptive"),
+    "mvsuv": ("mvsuv", "eager"),
 }
 
 
@@ -153,6 +156,15 @@ class SchemeComposition:
                 "adaptive detection exists to escape lazy buffering when the "
                 "L1 overflows, but a buffer VM still buffers in eager mode — "
                 "the adaptation would have no overflow-tolerant fallback"
+            )
+        if self.vm == "mvsuv" and self.cd != "eager":
+            return (
+                "mvsuv snapshots are stamped by the order in which writers "
+                "publish through the redirect table, which only eager "
+                "detection pins at access time; under lazy or adaptive "
+                "detection a writer's publication point is not known until "
+                "commit arbitration, so a concurrent snapshot reader could "
+                "not be given a consistent version timestamp"
             )
         if self.cd == "eager" and width != 1:
             return (

@@ -33,8 +33,11 @@ class TxFrame:
     #: cycles of useful in-transaction work; resolved to Trans on commit
     #: or Wasted on abort.
     tentative_cycles: int = 0
-    #: DynTM execution mode for this frame ("eager" or "lazy").
+    #: execution mode for this frame: "eager", "lazy" (DynTM / lazy-CD
+    #: schemes), or "snapshot" (mvsuv wait-free reader).
     mode: str = "eager"
+    #: the Tx op declared this transaction read-only (survives retries).
+    read_only: bool = False
     #: enclosing frame (closed nesting), None for the outermost.
     parent: "TxFrame | None" = None
     #: open-nested transaction: publishes at its own commit (§IV-C).

@@ -267,6 +267,7 @@ def _ensure_builtin_schemes() -> None:
     import repro.htm.vm.suv  # noqa: F401
     import repro.htm.vm.lazy  # noqa: F401
     import repro.htm.vm.dyntm  # noqa: F401
+    import repro.htm.vm.mvsuv  # noqa: F401
 
 
 def available_schemes() -> tuple[str, ...]:

@@ -32,6 +32,7 @@ from repro.htm.vm.base import VersionManager
 from repro.htm.vm.fastm import FasTM
 from repro.htm.vm.lazy import LazyVM
 from repro.htm.vm.logtm_se import LogTMSE
+from repro.htm.vm.mvsuv import MVSUV
 from repro.htm.vm.suv import SUV
 from repro.mem.hierarchy import AccessResult, MemoryHierarchy
 from repro.trace import PUBLISH, Tracer
@@ -137,7 +138,7 @@ class RedirectLazyVM(SUV):
             # stale remote copies of the original line die here; the new
             # data already sits at the redirected address (no merge)
             latency += self.hierarchy.invalidate_remote(core, line)
-        if self.summary.maybe_rebuild(self.table.iter_valid_lines()):
+        if self.summary.maybe_rebuild(self.table.iter_live_lines()):
             latency += self.config.redirect.software_overhead
         tr = self.trace
         if tr is not None and tr.events is not None:
@@ -166,7 +167,17 @@ _EAGER_CARRIERS: dict[str, type[VersionManager]] = {
     "flash": FasTM,
     "redirect": SUV,
     "buffer": LazyVM,  # buffer under eager detection = the canonical "lazy"
+    "mvsuv": MVSUV,
 }
+
+#: simulator-facing multiversion hooks a carrier may provide; the
+#: wrapper re-exports them so ``getattr(scheme, hook)`` finds them on a
+#: composed scheme exactly as on the bare carrier
+_SNAPSHOT_HOOKS = (
+    "snapshot_mode_for", "snapshot_read", "current_seq",
+    "note_publication", "note_nontx_write", "note_snapshot_violation",
+    "version_pool_lines",
+)
 
 
 class ComposedVM(VersionManager):
@@ -219,6 +230,15 @@ class ComposedVM(VersionManager):
             if versions is not None:
                 self.line_versions: dict[int, int] = versions
                 break
+        # re-export the multiversion snapshot hooks of an mvsuv carrier
+        # (bound methods), so the simulator's getattr probes see them
+        for carrier in (self._eager, self._lazy):
+            if carrier is None:
+                continue
+            for hook in _SNAPSHOT_HOOKS:
+                fn = getattr(carrier, hook, None)
+                if fn is not None and not hasattr(self, hook):
+                    setattr(self, hook, fn)
         if self._cd.name == "adaptive":
             self.stats.extra.update(eager_attempts=0, lazy_attempts=0)
 
@@ -237,6 +257,10 @@ class ComposedVM(VersionManager):
 
     def note_outcome(self, core: int, frame: TxFrame, committed: bool) -> None:
         self._cd.note_outcome(frame, committed)
+        # carriers with their own outcome feedback (mvsuv's read-only
+        # site detection) hear it too; the canonical carriers inherit
+        # the base no-op, so this is behaviour-neutral for them
+        self._vm(frame).note_outcome(core, frame, committed)
 
     # -- delegation (the vm axis) ---------------------------------------
     def _vm(self, frame: TxFrame) -> VersionManager:

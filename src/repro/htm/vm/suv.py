@@ -322,7 +322,7 @@ class SUV(VersionManager):
                 self.pool.free_line(entry.redirected_line)
                 entry.redirected_line = aux
                 self._inflight_swaps.discard(entry.orig_line)
-        if self.summary.maybe_rebuild(self.table.iter_valid_lines()):
+        if self.summary.maybe_rebuild(self.table.iter_live_lines()):
             # software rebuild of the summary filter (performance hygiene)
             latency += self.config.redirect.software_overhead
         return latency

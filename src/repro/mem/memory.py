@@ -35,6 +35,12 @@ class MainMemory:
         self.reads += 1
         return self._values.get(addr, 0)
 
+    def peek(self, addr: int) -> int:
+        """Like :meth:`load` but without counting a read — used by
+        bookkeeping that snoops values (version pre-imaging, oracles)
+        rather than modelling a program access."""
+        return self._values.get(addr, 0)
+
     def store(self, addr: int, value: int) -> None:
         self.writes += 1
         self._values[addr] = value

@@ -97,18 +97,29 @@ class OracleRecorder:
     def note_commit(
         self, core: int, frame: "TxFrame", open_nested: bool
     ) -> None:
-        """A publishing commit (outermost, or an open-nested child)."""
+        """A publishing commit (outermost, or an open-nested child).
+
+        Snapshot-mode commits (mvsuv wait-free readers) log as ``snap``
+        entries carrying the snapshot timestamp the reader captured at
+        begin; :meth:`_replay` checks their reads against the
+        multi-version history instead of the serial frontier.
+        """
         if open_nested:
             self.open_commits += 1
+            kind = "open"
         else:
             self.outer_commits += 1
-        self.log.append({
-            "kind": "open" if open_nested else "tx",
+            kind = "snap" if frame.mode == "snapshot" else "tx"
+        entry: dict[str, Any] = {
+            "kind": kind,
             "core": core,
             "site": frame.site,
             "cycle": self._sim.queue.now if self._sim else 0,
             "ops": list(frame.oracle_ops),
-        })
+        }
+        if kind == "snap":
+            entry["snapshot_seq"] = frame.vm.get("snapshot_seq", 0)
+        self.log.append(entry)
 
     def note_abort(self, core: int, depth: int) -> None:
         if depth == 0:
@@ -156,7 +167,40 @@ class OracleRecorder:
         relax_tx_reads = self.open_commits > 0
         golden: dict[int, int] = {}
         reads_checked = 0
+        # multi-version mirror for snapshot (mvsuv) entries: the log is
+        # publication-ordered, so numbering the *writing* entries as they
+        # replay reconstructs exactly the publication sequence the scheme
+        # stamps snapshots with; ``history`` keeps every committed value
+        # of every address with its publication number.
+        replay_seq = 0
+        history: dict[int, list[tuple[int, int]]] = {}
         for pos, entry in enumerate(self.log):
+            if entry["kind"] == "snap":
+                snap = entry.get("snapshot_seq", 0)
+                for op, addr, value in entry["ops"]:
+                    if op == "w":
+                        failures.append(
+                            f"snapshot entry {pos} (core {entry['core']}, "
+                            f"cycle {entry['cycle']}) wrote {addr:#x}; "
+                            "snapshot transactions must be read-only"
+                        )
+                        continue
+                    reads_checked += 1
+                    expected = 0
+                    for seq, committed in history.get(addr, ()):
+                        if seq <= snap:
+                            expected = committed
+                        else:
+                            break
+                    if value != expected:
+                        failures.append(
+                            f"multi-version replay diverged at entry "
+                            f"{pos} (snap, core {entry['core']}, cycle "
+                            f"{entry['cycle']}): read of {addr:#x} at "
+                            f"snapshot {snap} observed {value}, newest "
+                            f"committed version <= {snap} is {expected}"
+                        )
+                continue  # snapshots publish nothing
             overlay: dict[int, int] = {}  # read-your-own-writes
             strict = entry["kind"] == "nontx" or not relax_tx_reads
             for op, addr, value in entry["ops"]:
@@ -175,6 +219,12 @@ class OracleRecorder:
                             f"{expected}"
                         )
             golden.update(overlay)
+            if overlay:
+                replay_seq += 1
+                for addr, committed in overlay.items():
+                    history.setdefault(addr, []).append(
+                        (replay_seq, committed)
+                    )
         final = self._sim.memory.snapshot()
         for addr in sorted(set(golden) | set(final)):
             want = golden.get(addr, 0)
@@ -222,6 +272,11 @@ class OracleRecorder:
             if table is None or pool is None:
                 continue
             referenced: set[int] = set()
+            version_lines = getattr(vm, "version_pool_lines", None)
+            if version_lines is not None:
+                # retained multiversion records legitimately pin pool
+                # lines without a redirect entry referencing them
+                referenced |= version_lines()
             for entry in table.iter_entries():
                 if entry.state.is_transient:
                     failures.append(

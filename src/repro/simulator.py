@@ -300,6 +300,18 @@ class Simulator:
         self._spec_const = self.scheme.wants_speculative_marking()
         self._local_const = self.scheme.uses_local_writes()
         self._mask_of = self._sig_family.mask
+        #: multiversion snapshot hooks (mvsuv); every one is None for
+        #: ordinary schemes, so the per-access guard is one attribute
+        #: test and no behaviour changes
+        self._snapshot_mode_for = getattr(self.scheme, "snapshot_mode_for", None)
+        self._snapshot_read = getattr(self.scheme, "snapshot_read", None)
+        self._current_seq = getattr(self.scheme, "current_seq", None)
+        self._note_publication = getattr(self.scheme, "note_publication", None)
+        self._note_nontx_write = getattr(self.scheme, "note_nontx_write", None)
+        self._note_snapshot_violation = getattr(
+            self.scheme, "note_snapshot_violation", None
+        )
+        self._has_snapshot = self._snapshot_read is not None
         #: the scheme's composition pins the resolution/arbitration axes;
         #: canonical (single-name) schemes take them from HTMConfig
         composition = getattr(self.scheme, "composition", None)
@@ -613,8 +625,12 @@ class Simulator:
     # ------------------------------------------------------------------
     def _begin_tx(self, core: _Core, op: Tx) -> None:
         depth = len(core.frames)
+        declared_ro = getattr(op, "read_only", False)
         if depth == 0:
             mode = self.scheme.mode_for(core.idx, op.site)
+            if (self._snapshot_mode_for is not None
+                    and self._snapshot_mode_for(core.idx, op.site, declared_ro)):
+                mode = "snapshot"
             timestamp = self.queue.now
         else:
             mode = core.frames[0].mode
@@ -629,6 +645,11 @@ class Simulator:
             mode=mode,
         )
         frame.parent = core.frames[-1] if core.frames else None
+        frame.read_only = declared_ro
+        if depth == 0 and mode == "snapshot":
+            # capture the snapshot timestamp: the newest publication
+            # this reader is allowed to observe
+            frame.vm["snapshot_seq"] = self._current_seq()
         if isinstance(op, OpenTx):
             if depth == 0:
                 raise TransactionError(
@@ -730,10 +751,14 @@ class Simulator:
         self._arbitration.release(core.idx)
         if frame.depth == 0:
             # the isolation window closes here: signatures disarm only
-            # once commit processing (repair/merge/bit-flip) finished
-            self.trace.note_window(
-                self.queue.now - frame.start_time, committed=True
-            )
+            # once commit processing (repair/merge/bit-flip) finished.
+            # A snapshot reader never armed anything: its whole lifetime
+            # is zero isolation cycles, accounted apart.
+            span = self.queue.now - frame.start_time
+            if frame.mode == "snapshot":
+                self.trace.note_snapshot_window(span)
+            else:
+                self.trace.note_window(span, committed=True)
             if self.trace.events is not None:
                 self.trace.emit(
                     self.queue.now, TX_COMMIT, core.idx, core.ctx.tid,
@@ -741,6 +766,9 @@ class Simulator:
                      "writes": len(frame.write_lines)},
                 )
             # publish and release isolation
+            if self._note_publication is not None and frame.write_buffer:
+                # pre-image the overwritten words before they change
+                self._note_publication(core.idx, frame)
             self.memory.bulk_store(frame.write_buffer)
             if self.oracle is not None:
                 self.oracle.note_commit(core.idx, frame, open_nested=False)
@@ -755,6 +783,8 @@ class Simulator:
         elif frame.open_nested:
             # open-nested commit (§IV-C): publish now, release isolation,
             # and register the compensating action with the parent
+            if self._note_publication is not None and frame.write_buffer:
+                self._note_publication(core.idx, frame)
             self.memory.bulk_store(frame.write_buffer)
             if self.oracle is not None:
                 self.oracle.note_commit(core.idx, frame, open_nested=True)
@@ -805,10 +835,13 @@ class Simulator:
         retry_frame = core.frames[depth]
         if depth == 0:
             # the aborted attempt's isolation window closes with the
-            # end of abort processing; the retry opens a fresh one
-            self.trace.note_window(
-                self.queue.now - retry_frame.start_time, committed=False
-            )
+            # end of abort processing; the retry opens a fresh one.
+            # Aborted snapshot attempts held no isolation either.
+            span = self.queue.now - retry_frame.start_time
+            if retry_frame.mode == "snapshot":
+                self.trace.note_snapshot_window(span)
+            else:
+                self.trace.note_window(span, committed=False)
             if self.trace.events is not None:
                 self.trace.emit(
                     self.queue.now, TX_ABORT, core.idx, core.ctx.tid,
@@ -844,6 +877,12 @@ class Simulator:
             # re-select the execution mode (DynTM may flip eager↔lazy);
             # the timestamp is kept so older transactions keep priority
             frame.mode = self.scheme.mode_for(core.idx, frame.site)
+            if (self._snapshot_mode_for is not None
+                    and self._snapshot_mode_for(
+                        core.idx, frame.site, frame.read_only)):
+                # the retry re-captures a fresh snapshot timestamp
+                frame.mode = "snapshot"
+                frame.vm["snapshot_seq"] = self._current_seq()
             # the retry's isolation window opens now — backoff cycles
             # (signatures clear, nobody blocked) are not window time
             frame.start_time = self.queue.now
@@ -884,8 +923,10 @@ class Simulator:
         line = op.addr >> LINE_SHIFT
         is_write = type(op) is Write
         frames = core.ctx.frames
-        # _frame_visible(frames[-1]) inlined (per-access hot path)
-        if (not frames or frames[-1].mode != "lazy"
+        # _frame_visible(frames[-1]) inlined (per-access hot path);
+        # lazy frames are invisible until publication, snapshot frames
+        # are wait-free — neither joins the conflict scan
+        if (not frames or frames[-1].mode == "eager"
                 or frames[-1].vm.get("publishing")):
             conflict = self._find_conflict(core, line, is_write)
             if conflict is not None:
@@ -927,6 +968,9 @@ class Simulator:
         ctx = core.ctx
         if ctx.frames:
             frame = ctx.frames[-1]
+            if self._has_snapshot and frame.mode == "snapshot":
+                self._snapshot_access(core, op, line, is_write, frame)
+                return
             if is_write:
                 frame.record_write(line)
                 extra, phys = scheme.pre_write(core.idx, frame, line)
@@ -971,6 +1015,10 @@ class Simulator:
             extra, phys = scheme.nontx_translate(core.idx, line)
             if is_write:
                 result = self.hierarchy.write(core.idx, phys)
+                if self._note_nontx_write is not None:
+                    # pre-image the word before the store lands (strong
+                    # isolation makes this a publication of its own)
+                    self._note_nontx_write(core.idx, op.addr, line)
                 self.memory.store(op.addr, op.value)
                 if self.oracle is not None:
                     self.oracle.record_nontx(core.idx, True, op.addr, op.value)
@@ -982,6 +1030,44 @@ class Simulator:
                 ctx.pending_send = value if value is not None else _SENTINEL_NONE
             core.charge("NoTrans", result.latency + extra)
             self.queue.schedule(result.latency + extra, core.step_cb)
+
+    def _snapshot_access(
+        self, core: _Core, op: Read | Write, line: int, is_write: bool,
+        frame: TxFrame,
+    ) -> None:
+        """A wait-free snapshot-mode access (mvsuv).
+
+        Reads never arm signatures and never consult the redirect
+        table: they are served from the version chain, or straight from
+        memory when the chain proves no newer publication touched the
+        word.  A write violates the read-only declaration, and a read
+        whose history was garbage-collected cannot be served soundly —
+        both abort the attempt, and the scheme demotes the site so the
+        retry runs as an ordinary eager transaction (no livelock).
+        """
+        ctx = core.ctx
+        if is_write:
+            if self._note_snapshot_violation is not None:
+                self._note_snapshot_violation(core.idx, frame)
+            core.doomed_depth = 0
+            self._begin_abort(core)
+            return
+        extra, value, ok = self._snapshot_read(core.idx, frame, op.addr, line)
+        if not ok:
+            core.doomed_depth = 0
+            self._begin_abort(core)
+            return
+        if value is None:
+            result = self.hierarchy.read(core.idx, line)
+            value = self._tx_read_value(core, op.addr)
+            latency = result.latency + extra
+        else:
+            latency = extra
+        if self.oracle is not None:
+            self.oracle.record_tx_read(frame, op.addr, value)
+        frame.tentative_cycles += latency
+        ctx.pending_send = value if value is not None else _SENTINEL_NONE
+        self.queue.schedule(latency, core.step_cb)
 
     def _tx_read_value(self, core: _Core, addr: int) -> int:
         for frame in reversed(core.ctx.frames):

@@ -55,12 +55,17 @@ SIG_TEST = "sig_test"
 LOG_WALK = "log_walk"
 FLASH_ABORT = "flash_abort"
 PUBLISH = "publish"
+#: multiversioned SUV (mvsuv) machinery
+VERSION_ALLOC = "version_alloc"
+VERSION_READ = "version_read"
+VERSION_GC = "version_gc"
 
 #: every kind the exporters understand, for validation in tests
 EVENT_KINDS = (
     TX_BEGIN, TX_COMMIT, TX_ABORT, TX_STALL, TX_UNSTALL,
     TABLE_HIT, TABLE_MISS, TABLE_SPILL, POOL_ALLOC, POOL_RECLAIM,
     SIG_TEST, LOG_WALK, FLASH_ABORT, PUBLISH,
+    VERSION_ALLOC, VERSION_READ, VERSION_GC,
 )
 
 #: kinds rendered as Chrome duration-begin / duration-end pairs
@@ -176,6 +181,10 @@ class Tracer:
         self.window_cycles_max = 0
         self.commit_processing_cycles = 0
         self.abort_processing_cycles = 0
+        #: snapshot readers (mvsuv) never arm signatures: their attempts
+        #: are counted apart and contribute zero isolation cycles
+        self.snapshot_windows = 0
+        self.snapshot_cycles_total = 0
         self.hist_window = LatencyHistogram()
         self.hist_commit = LatencyHistogram()
         self.hist_abort = LatencyHistogram()
@@ -226,6 +235,13 @@ class Tracer:
             self.window_cycles_max = span
         self.hist_window.record(span)
 
+    def note_snapshot_window(self, span: int) -> None:
+        """A snapshot-mode attempt finished: it blocked nobody for its
+        whole lifetime, so it adds **zero** isolation-window cycles —
+        the wait-free collapse the mvsuv accounting must make visible."""
+        self.snapshot_windows += 1
+        self.snapshot_cycles_total += span
+
     def note_commit(self, latency: int) -> None:
         self.commit_processing_cycles += latency
         self.hist_commit.record(latency)
@@ -254,12 +270,19 @@ class Tracer:
                 "commit_processing_cycles": self.commit_processing_cycles,
                 "abort_processing_cycles": self.abort_processing_cycles,
             },
-            "latency": {
-                "window": self.hist_window.as_dict(),
-                "commit": self.hist_commit.as_dict(),
-                "abort": self.hist_abort.as_dict(),
-                "table_lookup": self.hist_table.as_dict(),
-            },
+        }
+        if self.snapshot_windows:
+            # gated so non-multiversion runs keep a byte-identical shape
+            out["isolation"].update({
+                "snapshot_windows": self.snapshot_windows,
+                "snapshot_lifetime_cycles": self.snapshot_cycles_total,
+                "snapshot_isolation_cycles": 0,
+            })
+        out["latency"] = {
+            "window": self.hist_window.as_dict(),
+            "commit": self.hist_commit.as_dict(),
+            "abort": self.hist_abort.as_dict(),
+            "table_lookup": self.hist_table.as_dict(),
         }
         if kernel is not None:
             out["kernel"] = dict(kernel)

@@ -24,6 +24,7 @@ yada          Delaunay-style mesh refinement              high
 from repro.workloads.base import AddressSpace, Program, load, store
 from repro.workloads.registry import (
     HIGH_CONTENTION,
+    STAMP_APPS,
     WORKLOAD_NAMES,
     make_workload,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "AddressSpace",
     "HIGH_CONTENTION",
     "Program",
+    "STAMP_APPS",
     "WORKLOAD_NAMES",
     "load",
     "make_workload",

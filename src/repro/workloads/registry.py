@@ -19,14 +19,21 @@ from repro.workloads.intruder import make_intruder
 from repro.workloads.kmeans import make_kmeans
 from repro.workloads.labyrinth import make_labyrinth
 from repro.workloads.ssca2 import make_ssca2
+from repro.workloads.starve import make_starve
 from repro.workloads.synthetic import make_synthetic
 from repro.workloads.vacation import make_vacation
 from repro.workloads.yada import make_yada
 
-WORKLOAD_NAMES = (
+#: the paper's eight Table IV applications — what the figure/table
+#: benchmarks sweep when they reproduce a published number
+STAMP_APPS = (
     "bayes", "genome", "intruder", "kmeans",
     "labyrinth", "ssca2", "vacation", "yada",
 )
+
+#: every runnable workload: the paper apps plus purpose-built stresses
+#: (starve: one huge reader vs. many small writers)
+WORKLOAD_NAMES = STAMP_APPS + ("starve",)
 
 #: the five high-contention applications of Table IV
 HIGH_CONTENTION = ("bayes", "genome", "intruder", "labyrinth", "yada")
@@ -41,6 +48,7 @@ _FACTORIES: dict[str, Callable[..., Program]] = {
     "vacation": make_vacation,
     "yada": make_yada,
     "synthetic": make_synthetic,
+    "starve": make_starve,
 }
 
 #: factories whose Programs carry no run-mutable captured state: their
@@ -48,7 +56,7 @@ _FACTORIES: dict[str, Callable[..., Program]] = {
 #: one built Program can be re-run any number of times.  The other
 #: workloads mutate captured structures while running (e.g. labyrinth's
 #: claimed-routes map) and must be rebuilt per run.
-_PURE_FACTORIES = frozenset({"ssca2", "synthetic"})
+_PURE_FACTORIES = frozenset({"ssca2", "synthetic", "starve"})
 
 #: memoized Programs for the pure factories (keyed by every build
 #: parameter); bench/sweep loops rebuild the same workload for each
@@ -108,6 +116,11 @@ _SCALES: dict[str, dict[str, dict[str, object]]] = {
         "tiny": dict(tx_per_thread=8),
         "small": dict(tx_per_thread=16),
         "full": dict(tx_per_thread=48),
+    },
+    "starve": {
+        "tiny": dict(reader_slots=32, tx_per_writer=3),
+        "small": dict(reader_slots=64, tx_per_writer=6),
+        "full": dict(reader_slots=128, tx_per_writer=12),
     },
 }
 

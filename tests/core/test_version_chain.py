@@ -1,0 +1,173 @@
+"""Property tests for the mvsuv version chain.
+
+A reference model keeps the *full* committed history of one line
+(every publication's post-state), so the three chain-read verdicts can
+be checked exactly under arbitrary interleavings of publications,
+global GC, and lost-version notes:
+
+* ``("chain", v)`` must equal the newest committed value at or before
+  the snapshot;
+* ``("memory", None)`` is a proof that current memory still holds the
+  snapshot value — so the model's current value must equal the model's
+  snapshot value;
+* ``("exhausted", None)`` makes no value claim, but may only happen
+  when the line's trimmed floor actually passed the snapshot.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.version_chain import VersionChain
+
+import pytest
+
+LINE = 0x40
+ADDRS = tuple(LINE + 8 * i for i in range(4))
+
+
+class ChainModel:
+    """Full-history reference the bounded chain is checked against."""
+
+    def __init__(self, versions_k: int):
+        self.chain = VersionChain(versions_k)
+        self.k = versions_k
+        self.seq = 0
+        self.current: dict[int, int] = {}           # committed memory
+        self.history: dict[int, list[tuple[int, int]]] = {}
+        self.next_pin = 0
+        self.pins_given: set[int] = set()
+        self.pins_freed: set[int] = set()
+        self.next_value = 1
+
+    def value_at(self, addr: int, snap: int) -> int:
+        """Newest committed value of ``addr`` at publication ``snap``."""
+        value = 0
+        for seq, committed in self.history.get(addr, ()):
+            if seq > snap:
+                break
+            value = committed
+        return value
+
+    # -- operations ----------------------------------------------------
+    def publish(self, which: list[int], lost: bool) -> None:
+        self.seq += 1
+        pre = {ADDRS[i]: self.current.get(ADDRS[i], 0) for i in which}
+        if lost:
+            self.pins_freed.update(self.chain.note_lost(LINE, self.seq))
+        else:
+            pin = self.next_pin
+            self.next_pin += 1
+            self.pins_given.add(pin)
+            self.pins_freed.update(
+                self.chain.record(LINE, self.seq, self.seq, pre, pin)
+            )
+        for i in which:
+            value = self.next_value
+            self.next_value += 1
+            self.current[ADDRS[i]] = value
+            self.history.setdefault(ADDRS[i], []).append((self.seq, value))
+
+    def gc(self, n: int) -> None:
+        self.pins_freed.update(self.chain.evict_oldest(n))
+
+    # -- invariants ----------------------------------------------------
+    def check_structure(self) -> None:
+        records = self.chain.chain_of(LINE)
+        assert len(records) <= self.k
+        seqs = [rec.seq for rec in records]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        floor = self.chain.floor_of(LINE)
+        assert all(rec.seq > floor for rec in records)
+        # pin conservation: every pin ever handed out is either still
+        # retained by a record or was reported freed — never both
+        live = self.chain.pool_lines()
+        assert live.isdisjoint(self.pins_freed)
+        assert live | self.pins_freed == self.pins_given
+
+    def check_reads(self) -> None:
+        for addr in ADDRS:
+            for snap in range(self.seq + 1):
+                verdict, value = self.chain.read(LINE, addr, snap)
+                expected = self.value_at(addr, snap)
+                if verdict == "chain":
+                    assert value == expected
+                elif verdict == "memory":
+                    assert self.current.get(addr, 0) == expected
+                else:
+                    assert verdict == "exhausted"
+                    assert self.chain.floor_of(LINE) > snap
+        # the newest snapshot never exhausts: nothing newer was trimmed
+        verdict, _ = self.chain.read(LINE, ADDRS[0], self.seq)
+        assert verdict != "exhausted"
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("publish"),
+            st.lists(st.integers(0, len(ADDRS) - 1), min_size=1,
+                     max_size=len(ADDRS), unique=True),
+            st.booleans(),
+        ),
+        st.tuples(st.just("gc"), st.integers(1, 4)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(versions_k=st.integers(1, 5), ops=_OPS)
+def test_chain_reads_match_full_history_model(versions_k, ops):
+    model = ChainModel(versions_k)
+    for op in ops:
+        if op[0] == "publish":
+            model.publish(op[1], op[2])
+        else:
+            model.gc(op[1])
+        model.check_structure()
+    model.check_reads()
+
+
+@settings(max_examples=100, deadline=None)
+@given(versions_k=st.integers(1, 4),
+       n_publications=st.integers(1, 12))
+def test_overflow_keeps_newest_k_and_raises_floor(versions_k, n_publications):
+    model = ChainModel(versions_k)
+    for _ in range(n_publications):
+        model.publish([0], lost=False)
+    records = model.chain.chain_of(LINE)
+    assert len(records) == min(versions_k, n_publications)
+    assert [rec.seq for rec in records] == list(
+        range(n_publications - len(records) + 1, n_publications + 1)
+    )
+    if n_publications > versions_k:
+        assert model.chain.floor_of(LINE) == n_publications - versions_k
+    model.check_structure()
+    model.check_reads()
+
+
+def test_record_rejects_non_increasing_seq():
+    chain = VersionChain(4)
+    chain.record(LINE, 3, 3, {LINE: 0}, None)
+    with pytest.raises(ValueError, match="must increase"):
+        chain.record(LINE, 3, 4, {LINE: 1}, None)
+
+
+def test_versions_k_must_be_positive():
+    with pytest.raises(ValueError, match="versions_k"):
+        VersionChain(0)
+
+
+def test_note_lost_drops_stale_records_and_frees_pins():
+    chain = VersionChain(4)
+    chain.record(LINE, 1, 1, {LINE: 0}, 100)
+    chain.record(LINE, 2, 2, {LINE: 1}, 101)
+    chain.record(LINE, 3, 3, {LINE: 2}, 102)
+    freed = chain.note_lost(LINE, 2)
+    assert sorted(freed) == [100, 101]
+    assert chain.floor_of(LINE) == 2
+    assert [rec.seq for rec in chain.chain_of(LINE)] == [3]
+    assert chain.read(LINE, LINE, 1) == ("exhausted", None)
+    assert chain.read(LINE, LINE, 2) == ("chain", 2)

@@ -63,13 +63,17 @@ def test_every_combination_instantiates_or_raises_typed(comp):
 def test_legal_combinations_counts_by_cd_axis():
     legal = legal_combinations()
     by_cd = {cd: [c for c in legal if c.cd == cd] for cd in CD_AXIS}
-    # eager: all four VMs, but arbitrated (lazy-commit) paths never run
-    assert len(by_cd["eager"]) == 4 * len(RESOLUTION_AXIS)
+    # eager: all five VMs (mvsuv included), but arbitrated (lazy-commit)
+    # paths never run
+    assert len(by_cd["eager"]) == 5 * len(RESOLUTION_AXIS)
     assert all(c.arbitration == "serial" for c in by_cd["eager"])
     # lazy: only invisible-until-commit VMs qualify
     assert {c.vm for c in by_cd["lazy"]} == {"buffer", "redirect"}
     # adaptive: needs an overflow-tolerant eager fallback
     assert {c.vm for c in by_cd["adaptive"]} == {"undo", "flash", "redirect"}
+    # mvsuv needs eager detection: snapshots are stamped against the
+    # publication sequence, which lazy/adaptive commit-time batching skews
+    assert {c.cd for c in legal if c.vm == "mvsuv"} == {"eager"}
 
 
 # -- composition value ----------------------------------------------------

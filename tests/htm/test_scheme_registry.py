@@ -13,7 +13,7 @@ from repro.htm.vm.base import (
 
 def test_builtin_schemes_registered_in_canonical_order():
     assert available_schemes() == (
-        "logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv"
+        "logtm-se", "fastm", "suv", "lazy", "dyntm", "dyntm+suv", "mvsuv"
     )
 
 
