@@ -8,7 +8,14 @@ Commands:
   Figure 6/9-style normalized comparison.
 * ``sweep`` — sweep one redirect-table parameter (Figure 7/8 style).
 * ``matrix`` — run a (workload × scheme × seed) matrix across worker
-  processes, with on-disk result caching.
+  processes, with on-disk result caching; ``--resume JOURNAL``
+  checkpoints every spec to a write-ahead journal so a killed campaign
+  resumes where it died.
+* ``cache`` — verify (checksums) or summarize the on-disk result cache;
+  corrupt entries are quarantined, never silently trusted.
+* ``chaos`` — chaos campaigns against the runner itself: inject worker
+  crashes/hangs/corruption, kill the campaign mid-flight, resume it,
+  and audit the resilience invariants.
 * ``faults`` — run a fault-injection campaign (schemes × workloads ×
   fault plans) with the atomicity oracle enabled on every run.
 * ``bench`` — run the pinned host-performance matrix and write a
@@ -38,6 +45,7 @@ from repro.faults import list_presets
 from repro.htm.vm.base import available_schemes, resolve_scheme_name
 from repro.runner import (
     ArtifactStore,
+    CampaignReport,
     ExperimentSpec,
     ResultCache,
     RunMatrix,
@@ -45,6 +53,7 @@ from repro.runner import (
     run_experiment,
     run_matrix,
 )
+from repro.runner.chaos import CHAOS_PRESETS
 from repro.simulator import SimResult
 from repro.stats.report import (
     format_breakdown_table,
@@ -251,16 +260,21 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     )
     specs = matrix.specs()
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    artifacts = ArtifactStore(args.artifacts) if args.artifacts else None
     runner = Runner(
         max_workers=args.jobs or None,
         cache=cache,
         timeout=args.timeout,
         retries=args.retries,
-        artifacts=ArtifactStore(args.artifacts) if args.artifacts else None,
+        artifacts=artifacts,
         progress=not args.quiet,
+        journal=getattr(args, "resume", None) or None,
     )
     started = time.monotonic()
-    outcomes = runner.run(specs)
+    try:
+        outcomes = [out for out in runner.run(specs) if out is not None]
+    finally:
+        runner.close()
     elapsed = time.monotonic() - started
 
     rows = []
@@ -289,9 +303,103 @@ def cmd_matrix(args: argparse.Namespace) -> int:
           f"{len(failed)} failed | cache hits {hits}/{len(specs)} "
           f"({hits / len(specs):.0%}) | workers={runner.max_workers} | "
           f"{elapsed:.1f}s")
-    for out in failed:
-        print(f"FAILED {out.spec.label()}: {out.error}")
+    report = CampaignReport.collect(
+        outcomes, runner=runner, cache=cache, wall_s=elapsed
+    )
+    print()
+    print(report.format())
+    if artifacts is not None:
+        artifacts.append_report(report.to_dict())
     return 1 if failed else 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Verify (checksums) or summarize the on-disk result cache."""
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        for key, value in sorted(cache.stats().items()):
+            print(f"{key:18s}: {value}")
+        return 0
+    report = cache.verify()
+    print(f"cache verify: {report['checked']} entries checked, "
+          f"{report['ok']} ok, {len(report['quarantined'])} quarantined")
+    for entry in report["quarantined"]:
+        print(f"  quarantined {entry['entry']}: {entry['reason']}")
+    if report["quarantined"]:
+        print(f"quarantined entries moved to "
+              f"{os.path.join(args.cache_dir, 'quarantine')}")
+        return 1
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Chaos campaigns against the runner: kill, resume, audit.
+
+    One campaign per (preset × chaos seed): the spec matrix runs under
+    injected faults, is killed mid-flight, resumed over the same journal
+    and cache, and audited against the resilience invariants (no spec
+    lost, none completed twice, resume converges, results byte-identical
+    to an uninterrupted run, failures typed).  Exits non-zero if any
+    campaign violates an invariant.
+    """
+    from repro.runner import execute_spec
+    from repro.runner.chaos import (
+        chaos_plan,
+        run_chaos_campaign,
+        write_chaos_report,
+    )
+
+    matrix = RunMatrix(
+        workloads=tuple(args.workloads),
+        schemes=tuple(args.schemes),
+        scales=(args.scale,),
+        seeds=(args.sim_seed,),
+        cores=(args.cores,),
+    )
+    specs = matrix.specs()
+    # one uninterrupted reference run, shared by every campaign
+    reference = {s.spec_hash(): execute_spec(s).to_json() for s in specs}
+    rows = []
+    reports = []
+    for preset in args.presets:
+        for chaos_seed in args.seeds:
+            plan = chaos_plan(preset, seed=chaos_seed)
+            if args.hang_s is not None:
+                plan = plan.with_(hang_s=args.hang_s)
+            root = os.path.join(args.root, f"{preset}-s{chaos_seed}")
+            verdict = run_chaos_campaign(
+                specs, plan, root,
+                jobs=args.jobs,
+                timeout=args.timeout,
+                retries=args.retries,
+                kill_after=args.kill_after,
+                reference=reference,
+            )
+            write_chaos_report(verdict, os.path.join(root, "report.json"))
+            reports.append(verdict)
+            fired = ", ".join(
+                f"{kind}×{n}"
+                for kind, n in sorted(verdict.faults_fired.items())
+            ) or "-"
+            rows.append([
+                preset, chaos_seed, verdict.n_specs, verdict.killed_after,
+                fired, "pass" if verdict.passed else "FAIL",
+            ])
+    print(format_table(
+        ["preset", "seed", "specs", "killed@", "faults fired", "verdict"],
+        rows,
+        title=f"chaos — {len(reports)} campaigns over {len(specs)} specs "
+              f"at scale {args.scale}",
+    ))
+    failures = [r for r in reports if not r.passed]
+    print()
+    print(f"{len(reports)} campaigns | {len(reports) - len(failures)} passed, "
+          f"{len(failures)} failed | reports under {args.root}/")
+    for verdict in failures:
+        for violation in verdict.violations:
+            print(f"VIOLATION [{verdict.plan} seed={verdict.seed}]: "
+                  f"{violation}")
+    return 1 if failures else 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -671,9 +779,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash/timeout retries per spec (fresh seed offset)")
     p.add_argument("--artifacts", metavar="PATH",
                    help="append one JSONL record per run to PATH")
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="write-ahead campaign journal: every spec's state "
+                        "is checkpointed to JOURNAL, and re-running with "
+                        "the same path resumes a killed campaign")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-run progress lines")
     p.set_defaults(fn=cmd_matrix)
+
+    p = sub.add_parser(
+        "cache",
+        help="verify (checksums) or summarize the result cache",
+    )
+    p.add_argument("action", choices=("verify", "stats"))
+    p.add_argument("--cache-dir",
+                   default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    p.set_defaults(fn=cmd_cache)
+
+    p = sub.add_parser(
+        "chaos",
+        help="chaos campaigns against the runner: kill, resume, audit",
+    )
+    p.add_argument("--presets", nargs="+", default=["crash", "corrupt"],
+                   choices=sorted(CHAOS_PRESETS),
+                   help="fault presets; one campaign per preset × seed")
+    p.add_argument("--seeds", type=int, nargs="+", default=[1, 2],
+                   help="chaos plan seeds (fault placement, not the "
+                        "simulation seed)")
+    p.add_argument("--workloads", nargs="+", default=["ssca2", "kmeans"],
+                   choices=_WORKLOAD_CHOICES)
+    p.add_argument("--schemes", nargs="+", default=["suv"],
+                   type=_scheme_name)
+    p.add_argument("--sim-seed", type=int, default=3,
+                   help="simulation seed of the spec matrix")
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="tiny")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--jobs", type=int, default=2)
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-spec retry budget (verbatim retries)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-run timeout in seconds (required to survive "
+                        "the hang preset quickly)")
+    p.add_argument("--hang-s", type=float, default=None,
+                   help="override the preset's injected hang duration")
+    p.add_argument("--kill-after", type=int, default=None,
+                   help="kill the first session after N resolved specs "
+                        "(default: half the matrix)")
+    p.add_argument("--root", default=".repro-chaos",
+                   help="campaign root: journals, caches, markers, "
+                        "report.json per campaign")
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser(
         "faults",

@@ -91,6 +91,54 @@ class PoolExhausted(ReproError, RuntimeError):
         self.live_lines = live_lines
 
 
+class RetryBudgetExhausted(ReproError, RuntimeError):
+    """A spec used up its per-spec retry budget and failed terminally.
+
+    Raised (and recorded as a :class:`~repro.runner.RunOutcome`'s
+    ``error_type``) by the runner's supervision layer when every allowed
+    attempt of a spec crashed, timed out, or returned a corrupt payload.
+    The failure is *terminal and visible*: the spec is never silently
+    dropped, never retried forever.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        spec_label: str = "",
+        attempts: int = 0,
+        last_error: str = "",
+    ) -> None:
+        self.spec_label = spec_label
+        self.attempts = attempts
+        self.last_error = last_error
+        detail = []
+        if spec_label:
+            detail.append(spec_label)
+        if attempts:
+            detail.append(f"attempts={attempts}")
+        if detail:
+            message = f"{message} [{', '.join(detail)}]"
+        if last_error:
+            message = f"{message}: last error: {last_error}"
+        super().__init__(message)
+
+
+class CampaignJournalError(ReproError, RuntimeError):
+    """A campaign journal could not be replayed or does not match.
+
+    Raised when ``--resume`` is pointed at a journal recorded for a
+    different spec set (resuming it would silently mix campaigns), or
+    when the journal file is corrupt beyond the tolerated truncated
+    trailing line.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        self.path = path
+        if path:
+            message = f"{message} [journal={path}]"
+        super().__init__(message)
+
+
 class UnknownSchemeError(ReproError, ValueError):
     """A scheme name matched neither a registered scheme nor a legal
     axis composition.

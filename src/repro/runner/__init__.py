@@ -8,6 +8,17 @@ timeouts/retries/serial fallback, a content-hashed on-disk
 :class:`ResultCache` making repeated sweeps near-free, and a JSONL
 :class:`ArtifactStore` for external tooling.
 
+Campaigns are crash-safe: a :class:`CampaignJournal` write-ahead
+journal checkpoints every per-spec state transition (resume a killed
+campaign by re-running with the same journal), cache entries are
+checksummed and quarantined instead of trusted blindly, the runner
+supervises its worker pool (backoff with deterministic jitter, a typed
+per-spec retry budget, a pool→serial circuit breaker), and a
+:class:`CampaignReport` summarizes outcomes, retries, quarantines and
+degradations.  :mod:`repro.runner.chaos` injects campaign-level faults
+to prove the invariants: no spec lost, none run twice to completion,
+resume converges byte-identically.
+
 Typical use::
 
     from repro.runner import ExperimentSpec, RunMatrix, run_matrix
@@ -29,15 +40,21 @@ from repro.runner.executor import (
     run_experiment,
     run_matrix,
 )
+from repro.runner.journal import CampaignJournal, JournalState, SpecState
+from repro.runner.report import CampaignReport
 from repro.runner.spec import ExperimentSpec, RunMatrix
 
 __all__ = [
     "ArtifactStore",
+    "CampaignJournal",
+    "CampaignReport",
     "ExperimentSpec",
+    "JournalState",
     "ResultCache",
     "RunMatrix",
     "RunOutcome",
     "Runner",
+    "SpecState",
     "execute_spec",
     "run_experiment",
     "run_matrix",

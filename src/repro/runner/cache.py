@@ -1,49 +1,134 @@
-"""Content-hashed on-disk result cache.
+"""Content-hashed on-disk result cache with integrity checking.
 
 Layout: one ``<spec_hash>.json`` file per cached run under the cache
-root, holding ``{"spec": ..., "result": ...}`` — the spec dict for
-human inspection, the result dict for :meth:`SimResult.from_dict`.
-Writes are atomic (temp file + rename) so a crashed run never leaves a
-half-written entry; unreadable entries are treated as misses and
-removed.  Simulations are deterministic in their spec, so a hit is
+root, holding ``{"spec": ..., "result": ..., "checksum": ...}`` — the
+spec dict for human inspection, the result dict for
+:meth:`SimResult.from_dict`, and a sha256 checksum over the canonical
+result JSON, verified on every :meth:`get`.  Writes are atomic (temp
+file + rename) so a crashed run never leaves a half-written entry live.
+
+Entries that fail to parse or whose checksum does not match are never
+trusted *and never silently destroyed*: they are moved to
+``<root>/quarantine/`` for post-mortem (``repro cache verify`` audits a
+whole cache the same way).  Temp files orphaned by a worker killed
+between ``mkstemp`` and ``os.replace`` are swept on construction and
+counted in :meth:`stats`.
+
+Simulations are deterministic in their spec, so a verified hit is
 byte-for-byte the result a fresh run would produce.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
+from typing import Any, Callable, Mapping
 
 from repro.runner.spec import ExperimentSpec
 from repro.simulator import SimResult
 
+#: subdirectory of the cache root corrupt entries are moved into
+QUARANTINE_DIR = "quarantine"
+
+
+def result_checksum(result_dict: Mapping[str, Any]) -> str:
+    """sha256 over the canonical JSON encoding of a result dict."""
+    canonical = json.dumps(
+        dict(result_dict), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
 
 class ResultCache:
-    """Spec-hash-keyed store of :class:`SimResult` JSON files."""
+    """Spec-hash-keyed store of checksummed :class:`SimResult` files."""
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, sweep_tmp: bool = True) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: corrupt entries moved to quarantine/ by this cache object
+        self.quarantined = 0
+        #: orphaned ``*.tmp`` files swept at construction (a worker died
+        #: between ``mkstemp`` and ``os.replace``)
+        self.stale_tmp_removed = 0
+        #: called with ``(spec_hash, reason)`` whenever an entry is
+        #: quarantined — the campaign journal hooks in here
+        self.quarantine_hook: Callable[[str, str], None] | None = None
+        if sweep_tmp:
+            self.stale_tmp_removed = self._sweep_tmp()
+
+    def _sweep_tmp(self) -> int:
+        """Remove orphaned temp files left by killed writers."""
+        removed = 0
+        for stale in self.root.glob("*.tmp"):
+            try:
+                stale.unlink()
+                removed += 1
+            except OSError:
+                pass  # a concurrent writer finished (renamed) or swept it
+        return removed
 
     def path_for(self, spec: ExperimentSpec) -> Path:
         return self.root / f"{spec.spec_hash()}.json"
 
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (never silently unlink it)."""
+        self.quarantine_root.mkdir(parents=True, exist_ok=True)
+        target = self.quarantine_root / path.name
+        n = 0
+        while target.exists():
+            n += 1
+            target = self.quarantine_root / f"{path.stem}.{n}{path.suffix}"
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            return  # a concurrent reader already quarantined it
+        self.quarantined += 1
+        if self.quarantine_hook is not None:
+            self.quarantine_hook(path.stem, reason)
+
+    @staticmethod
+    def _validate(data: Any) -> tuple[SimResult | None, str]:
+        """(result, "") for a sound entry, (None, reason) otherwise."""
+        if not isinstance(data, dict) or "result" not in data:
+            return None, "not a cache entry object"
+        recorded = data.get("checksum")
+        if not recorded:
+            return None, "no checksum (legacy or tampered entry)"
+        if result_checksum(data["result"]) != recorded:
+            return None, "checksum mismatch"
+        try:
+            return SimResult.from_dict(data["result"]), ""
+        except (KeyError, TypeError, ValueError) as exc:
+            return None, f"undecodable result: {type(exc).__name__}: {exc}"
+
     def get(self, spec: ExperimentSpec) -> SimResult | None:
-        """The cached result for ``spec``, or None on a miss."""
+        """The verified cached result for ``spec``, or None on a miss.
+
+        Entries that fail integrity checking are quarantined, counted,
+        and reported as misses — the runner recomputes them.
+        """
         path = self.path_for(spec)
         try:
             data = json.loads(path.read_text())
-            result = SimResult.from_dict(data["result"])
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError):
-            # corrupt or stale-format entry: drop it and recompute
-            path.unlink(missing_ok=True)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine(path, "unreadable JSON")
+            self.misses += 1
+            return None
+        result, reason = self._validate(data)
+        if result is None:
+            self._quarantine(path, reason)
             self.misses += 1
             return None
         self.hits += 1
@@ -52,8 +137,13 @@ class ResultCache:
     def put(self, spec: ExperimentSpec, result: SimResult) -> Path:
         """Store ``result`` under ``spec``'s hash; returns the file path."""
         path = self.path_for(spec)
+        result_dict = result.to_dict()
         payload = json.dumps(
-            {"spec": spec.to_dict(), "result": result.to_dict()},
+            {
+                "spec": spec.to_dict(),
+                "result": result_dict,
+                "checksum": result_checksum(result_dict),
+            },
             sort_keys=True,
         )
         fd, tmp_name = tempfile.mkstemp(
@@ -71,6 +161,32 @@ class ResultCache:
             raise
         return path
 
+    def verify(self) -> dict[str, Any]:
+        """Audit every entry; quarantine the corrupt ones.
+
+        Returns ``{"checked", "ok", "quarantined": [{"entry",
+        "reason"}, ...]}`` — the report behind ``repro cache verify``.
+        """
+        checked = 0
+        bad: list[dict[str, str]] = []
+        for path in sorted(self.root.glob("*.json")):
+            checked += 1
+            reason = ""
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                reason = "unreadable JSON"
+            else:
+                _result, reason = self._validate(data)
+            if reason:
+                self._quarantine(path, reason)
+                bad.append({"entry": path.name, "reason": reason})
+        return {
+            "checked": checked,
+            "ok": checked - len(bad),
+            "quarantined": bad,
+        }
+
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 
@@ -86,4 +202,10 @@ class ResultCache:
         return removed
 
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self),
+            "quarantined": self.quarantined,
+            "stale_tmp_removed": self.stale_tmp_removed,
+        }

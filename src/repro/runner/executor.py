@@ -19,6 +19,7 @@ The module-level conveniences are the stable public API surface:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import sys
 import time
@@ -29,8 +30,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.errors import RetryBudgetExhausted
 from repro.runner.artifacts import ArtifactStore
 from repro.runner.cache import ResultCache
+from repro.runner.journal import CampaignJournal, SpecState
 from repro.runner.spec import ExperimentSpec, RunMatrix
 from repro.simulator import SimResult, Simulator
 
@@ -127,6 +130,20 @@ def _coerce_result(payload: Any) -> SimResult:
     )
 
 
+def _try_coerce(payload: Any) -> tuple[SimResult | None, str]:
+    """(result, "") for a sound payload, (None, reason) for a corrupt one.
+
+    A worker that crosses the process boundary with a mangled payload
+    (truncated pickle, corrupted JSON, wrong type) must count as a
+    *retryable spec failure*, not crash the whole campaign in the
+    parent — the chaos harness injects exactly this.
+    """
+    try:
+        return _coerce_result(payload), ""
+    except Exception as exc:
+        return None, f"corrupt result payload: {type(exc).__name__}: {exc}"
+
+
 @dataclass
 class RunOutcome:
     """What happened to one spec: a result, a cache hit, or an error."""
@@ -137,9 +154,15 @@ class RunOutcome:
     attempts: int = 0
     duration_s: float = 0.0
     error: str | None = None
+    #: the typed error class name for terminal failures (e.g.
+    #: ``"RetryBudgetExhausted"``) — failures are typed, never bare text
+    error_type: str | None = None
     #: the spec actually executed — differs from ``spec`` only when a
     #: crash retry re-ran with an offset seed
     executed_spec: ExperimentSpec | None = None
+    #: True when a resumed campaign satisfied this spec from a previous
+    #: session (journal said done, cache supplied the bytes)
+    resumed: bool = False
 
     @property
     def ok(self) -> bool:
@@ -168,6 +191,18 @@ class Runner:
       ``spec -> SimResult | json-str``); replaceable for testing.
     * ``chunk_size`` — specs per pool task when no ``timeout`` is set;
       ``None`` sizes chunks automatically.
+    * ``journal`` — a :class:`~repro.runner.journal.CampaignJournal`
+      (or its path): every spec state transition is checkpointed
+      write-ahead, and an existing journal resumes the campaign it
+      records (done specs are satisfied from the cache, in-flight and
+      failed ones re-run).
+    * ``breaker_threshold`` / ``backoff_base_s`` / ``backoff_max_s`` /
+      ``supervision_seed`` — worker supervision: after a pool breakage
+      the pool is recycled and the unresolved specs re-dispatched,
+      waiting an exponentially growing backoff with seed-deterministic
+      jitter between recycles; after ``breaker_threshold`` consecutive
+      breakages the circuit opens and the runner degrades to serial
+      execution instead of thrashing pool spawns.
 
     The worker pool is *persistent*: created on first use (workers
     pre-import the simulator stack) and reused by later ``run()`` calls,
@@ -188,6 +223,11 @@ class Runner:
         progress: bool | Callable[[str], None] = False,
         worker: Callable[[ExperimentSpec], Any] | None = None,
         chunk_size: int | None = None,
+        journal: CampaignJournal | str | Path | None = None,
+        breaker_threshold: int = 3,
+        backoff_base_s: float = 0.1,
+        backoff_max_s: float = 5.0,
+        supervision_seed: int = 0,
     ) -> None:
         if max_workers is None:
             max_workers = max(2, min(4, os.cpu_count() or 2))
@@ -206,8 +246,33 @@ class Runner:
         #: specs per pool task when no per-run ``timeout`` is set;
         #: ``None`` = auto (sized so every worker gets several chunks)
         self.chunk_size = chunk_size
+        self._owns_journal = isinstance(journal, (str, Path))
+        if isinstance(journal, (str, Path)):
+            journal = CampaignJournal(journal)
+        self.journal = journal
+        self.breaker_threshold = max(1, breaker_threshold)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.supervision_seed = supervision_seed
         #: times the runner degraded to serial execution (pool failure)
         self.serial_fallbacks = 0
+        #: pool breakages seen over this runner's lifetime
+        self.pool_breakages = 0
+        #: True once ``breaker_threshold`` consecutive breakages opened
+        #: the circuit: all further execution is serial
+        self.circuit_open = False
+        #: cache writes that failed and were tolerated (result kept)
+        self.cache_put_failures = 0
+        #: supervision events (pool_breakage / circuit_open /
+        #: cache_put_failure dicts) in occurrence order
+        self.degradation_events: list[dict] = []
+        self._consecutive_breaks = 0
+        #: journal state of prior sessions, keyed by spec hash (set by
+        #: ``_run_indexed`` when a journal is armed)
+        self._prior: dict[str, SpecState] = {}
+        if self.cache is not None and self.journal is not None:
+            if self.cache.quarantine_hook is None:
+                self.cache.quarantine_hook = self.journal.record_quarantine
         #: the persistent warm pool (created lazily, reused across
         #: ``run()`` calls, recycled after a timeout or pool breakage)
         self._pool: ProcessPoolExecutor | None = None
@@ -246,6 +311,8 @@ class Runner:
     def close(self) -> None:
         """Shut down the warm worker pool (idempotent)."""
         self._close_pool()
+        if self._owns_journal and self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Runner":
         return self
@@ -261,19 +328,27 @@ class Runner:
         self._done_count = 0
         self._total = len(spec_list)
         self._t0 = time.monotonic()
+        self._prior = (
+            self.journal.begin(spec_list).specs
+            if self.journal is not None else {}
+        )
 
         pending: list[int] = []
         for i, spec in enumerate(spec_list):
             hit = self.cache.get(spec) if self.cache is not None else None
             if hit is not None:
-                outcome = RunOutcome(spec, hit, cached=True)
+                prior = self._prior.get(spec.spec_hash())
+                outcome = RunOutcome(
+                    spec, hit, cached=True,
+                    resumed=prior is not None and prior.status == "done",
+                )
                 self._finish(outcome)
                 yield i, outcome
             else:
                 pending.append(i)
 
         leftover = pending
-        if self.max_workers >= 2 and len(pending) > 1:
+        if self.max_workers >= 2 and len(pending) > 1 and not self.circuit_open:
             leftover = []
             yield from self._pool_indexed(spec_list, pending, leftover)
         for i in leftover:
@@ -314,21 +389,37 @@ class Runner:
     ) -> Iterator[tuple[int, RunOutcome]]:
         """Run ``pending`` indices in the warm pool, yielding as resolved.
 
-        Indices still unfinished when the pool cannot be created or
-        breaks mid-run are appended to ``leftover`` — the caller
-        finishes those serially.
+        Supervision loop: when the pool breaks mid-run, the unresolved
+        indices are re-dispatched to a recycled pool (after an
+        exponential, jittered backoff) instead of being dumped to
+        serial execution wholesale.  Only after ``breaker_threshold``
+        consecutive breakages — or when a pool cannot be created at
+        all — does the circuit open and the remainder go to
+        ``leftover`` for the caller's serial path.
         """
         worker = self._worker or _json_worker
-        try:
-            pool = self._ensure_pool(len(pending))
-        except (OSError, NotImplementedError, PermissionError):
-            self.serial_fallbacks += 1
-            leftover.extend(pending)
-            return
-        if self.timeout is None:
-            yield from self._pool_chunked(pool, worker, specs, pending, leftover)
-        else:
-            yield from self._pool_per_spec(pool, worker, specs, pending, leftover)
+        remaining = list(pending)
+        while remaining and not self.circuit_open:
+            try:
+                pool = self._ensure_pool(len(remaining))
+            except (OSError, NotImplementedError, PermissionError):
+                self.serial_fallbacks += 1
+                break
+            broken: list[int] = []
+            if self.timeout is None:
+                yield from self._pool_chunked(
+                    pool, worker, specs, remaining, broken
+                )
+            else:
+                yield from self._pool_per_spec(
+                    pool, worker, specs, remaining, broken
+                )
+            if not broken:
+                self._consecutive_breaks = 0
+                remaining = []
+            else:
+                remaining = broken  # bookkeeping happened in _pool_broke
+        leftover.extend(remaining)
 
     def _pool_chunked(
         self,
@@ -336,14 +427,15 @@ class Runner:
         worker: Callable[[ExperimentSpec], Any],
         specs: Sequence[ExperimentSpec],
         pending: list[int],
-        leftover: list[int],
+        broken: list[int],
     ) -> Iterator[tuple[int, RunOutcome]]:
         """Chunked streaming path (no per-run timeout to police).
 
         Specs travel to the pool several per task so the pickle/submit
         overhead amortizes, and resolved outcomes are yielded in
-        completion order.  Specs that failed inside a chunk are retried
-        individually with the usual seed offset.
+        completion order.  Specs that failed inside a chunk (including
+        corrupt payloads) are retried individually with the usual seed
+        offset.
         """
         chunk_size = self.chunk_size or max(
             1, len(pending) // (max(1, self._pool_workers) * 4)
@@ -353,6 +445,9 @@ class Runner:
             for at in range(0, len(pending), chunk_size)
         ]
         unresolved: set[int] = set(pending)
+        for chunk in chunks:
+            for i in chunk:
+                self._journal_running(specs[i], attempt=1)
         try:
             futures = {
                 pool.submit(
@@ -361,7 +456,7 @@ class Runner:
                 for chunk in chunks
             }
         except (BrokenProcessPool, RuntimeError):
-            self._pool_broke(unresolved, leftover)
+            self._pool_broke(unresolved, broken)
             return
         retryable: list[tuple[int, str]] = []
         for future in as_completed(futures):
@@ -369,13 +464,18 @@ class Runner:
             try:
                 payloads = future.result()
             except BrokenProcessPool:
-                self._pool_broke(unresolved, leftover)
+                self._pool_broke(unresolved, broken)
                 return
             for i, (status, payload, seconds) in zip(chunk, payloads):
+                result = None
                 if status == "ok":
+                    result, error = _try_coerce(payload)
+                else:
+                    error = payload
+                if result is not None:
                     outcome = RunOutcome(
                         specs[i],
-                        _coerce_result(payload),
+                        result,
                         attempts=1,
                         duration_s=seconds,
                         executed_spec=specs[i],
@@ -384,16 +484,16 @@ class Runner:
                     self._finish(outcome)
                     yield i, outcome
                 elif self.retries <= 0:
-                    outcome = RunOutcome(specs[i], attempts=1, error=payload)
+                    outcome = self._exhausted(specs[i], 1, error)
                     unresolved.discard(i)
                     self._finish(outcome)
                     yield i, outcome
                 else:
-                    retryable.append((i, payload))
+                    retryable.append((i, error))
         for i, error in retryable:
             outcome = self._pool_retry(pool, worker, specs[i], error)
             if outcome is None:
-                self._pool_broke(unresolved, leftover)
+                self._pool_broke(unresolved, broken)
                 return
             unresolved.discard(i)
             self._finish(outcome)
@@ -406,19 +506,19 @@ class Runner:
         spec: ExperimentSpec,
         error: str,
     ) -> RunOutcome | None:
-        """Retry one chunk-failed spec individually; None = pool broke."""
+        """Retry one chunk-failed spec individually; None = pool broke.
+
+        Attempt ``k`` runs with the seed offset ``(k-1) *
+        retry_seed_offset`` so a deterministic simulation crash is not
+        replayed verbatim (offset 0 = verbatim re-runs, the chaos
+        harness's choice, where faults are transient by construction).
+        """
         for attempt in range(2, self.retries + 2):
             run_spec = self._retry_spec(spec, attempt - 1)
+            self._journal_running(spec, attempt=attempt)
             start = time.monotonic()
             try:
-                result = _coerce_result(pool.submit(worker, run_spec).result())
-                return RunOutcome(
-                    spec,
-                    result,
-                    attempts=attempt,
-                    duration_s=time.monotonic() - start,
-                    executed_spec=run_spec,
-                )
+                payload = pool.submit(worker, run_spec).result()
             except BrokenProcessPool:
                 return None
             except RuntimeError:
@@ -426,12 +526,71 @@ class Runner:
                 return None
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
-        return RunOutcome(spec, attempts=self.retries + 1, error=error)
+                continue
+            result, coerce_error = _try_coerce(payload)
+            if result is not None:
+                return RunOutcome(
+                    spec,
+                    result,
+                    attempts=attempt,
+                    duration_s=time.monotonic() - start,
+                    executed_spec=run_spec,
+                )
+            error = coerce_error
+        return self._exhausted(spec, self.retries + 1, error)
 
-    def _pool_broke(self, unresolved: set[int], leftover: list[int]) -> None:
-        self.serial_fallbacks += 1
+    def _pool_broke(self, unresolved: set[int], broken: list[int]) -> None:
+        """Handle a pool breakage: recycle, back off, maybe open circuit.
+
+        The unresolved indices go back to ``broken`` for the supervisor
+        loop in :meth:`_pool_indexed` to re-dispatch (or finish serially
+        once the circuit opens).
+        """
+        self.pool_breakages += 1
+        self._consecutive_breaks += 1
         self._close_pool()
-        leftover.extend(sorted(unresolved))
+        broken.extend(sorted(unresolved))
+        event: dict[str, Any] = {
+            "kind": "pool_breakage",
+            "breakage": self.pool_breakages,
+            "consecutive": self._consecutive_breaks,
+            "unresolved": len(unresolved),
+        }
+        if self._consecutive_breaks >= self.breaker_threshold:
+            self.circuit_open = True
+            self.serial_fallbacks += 1
+            event["circuit"] = "open"
+            self._degrade(event)
+            self._degrade({
+                "kind": "circuit_open",
+                "after_breakages": self._consecutive_breaks,
+            })
+            return
+        backoff = min(
+            self.backoff_max_s,
+            self.backoff_base_s * 2 ** (self._consecutive_breaks - 1),
+        )
+        backoff *= 1.0 + self._jitter(self.pool_breakages)
+        event["backoff_s"] = round(backoff, 6)
+        self._degrade(event)
+        if backoff > 0:
+            time.sleep(backoff)
+
+    def _jitter(self, n: int) -> float:
+        """Deterministic jitter in [0, 1) for the n-th breakage.
+
+        Seeded so chaos campaigns replay identically: same supervision
+        seed and breakage history, same backoff schedule.
+        """
+        digest = hashlib.sha256(
+            f"supervision:{self.supervision_seed}:{n}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def _degrade(self, event: dict) -> None:
+        self.degradation_events.append(event)
+        if self.journal is not None:
+            self.journal.record_degradation(event)
 
     def _pool_per_spec(
         self,
@@ -439,7 +598,7 @@ class Runner:
         worker: Callable[[ExperimentSpec], Any],
         specs: Sequence[ExperimentSpec],
         pending: list[int],
-        leftover: list[int],
+        broken: list[int],
     ) -> Iterator[tuple[int, RunOutcome]]:
         """One future per spec, waited in submission order.
 
@@ -449,21 +608,34 @@ class Runner:
         at the end of the run rather than handed a poisoned worker.
         """
         timed_out = False
+        for i in pending:
+            self._journal_running(specs[i], attempt=1)
         try:
             tasks = {
                 i: (pool.submit(worker, specs[i]), 1, specs[i])
                 for i in pending
             }
         except (BrokenProcessPool, RuntimeError):
-            self._pool_broke(set(pending), leftover)
+            self._pool_broke(set(pending), broken)
             return
         unresolved = set(pending)
         for i in pending:
             while i in unresolved:
                 future, attempt, run_spec = tasks[i]
                 start = time.monotonic()
+                result = None
                 try:
-                    result = _coerce_result(future.result(self.timeout))
+                    result, error = _try_coerce(future.result(self.timeout))
+                except FuturesTimeoutError:
+                    future.cancel()
+                    timed_out = True
+                    error = f"timed out after {self.timeout}s"
+                except BrokenProcessPool:
+                    self._pool_broke(unresolved, broken)
+                    return
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                if result is not None:
                     outcome = RunOutcome(
                         specs[i],
                         result,
@@ -475,24 +647,14 @@ class Runner:
                     self._finish(outcome)
                     yield i, outcome
                     break
-                except FuturesTimeoutError:
-                    future.cancel()
-                    timed_out = True
-                    error = f"timed out after {self.timeout}s"
-                except BrokenProcessPool:
-                    self._pool_broke(unresolved, leftover)
-                    return
-                except Exception as exc:
-                    error = f"{type(exc).__name__}: {exc}"
                 if attempt > self.retries:
-                    outcome = RunOutcome(
-                        specs[i], attempts=attempt, error=error
-                    )
+                    outcome = self._exhausted(specs[i], attempt, error)
                     unresolved.discard(i)
                     self._finish(outcome)
                     yield i, outcome
                     break
                 retry_spec = self._retry_spec(specs[i], attempt)
+                self._journal_running(specs[i], attempt=attempt + 1)
                 try:
                     tasks[i] = (
                         pool.submit(worker, retry_spec),
@@ -500,7 +662,7 @@ class Runner:
                         retry_spec,
                     )
                 except (BrokenProcessPool, RuntimeError):
-                    self._pool_broke(unresolved, leftover)
+                    self._pool_broke(unresolved, broken)
                     return
         if timed_out:
             # abandoned tasks still occupy workers; start fresh next run
@@ -511,6 +673,7 @@ class Runner:
         error = "not attempted"
         for attempt in range(1, self.retries + 2):
             run_spec = spec if attempt == 1 else self._retry_spec(spec, attempt - 1)
+            self._journal_running(spec, attempt=attempt)
             start = time.monotonic()
             try:
                 if self._worker is None:
@@ -526,17 +689,73 @@ class Runner:
                 )
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
-        return RunOutcome(spec, attempts=self.retries + 1, error=error)
+        return self._exhausted(spec, self.retries + 1, error)
 
     # -- shared plumbing -------------------------------------------------
     def _retry_spec(self, spec: ExperimentSpec, attempt: int) -> ExperimentSpec:
         return spec.with_(seed=spec.seed + attempt * self.retry_seed_offset)
 
+    def _exhausted(
+        self, spec: ExperimentSpec, attempts: int, error: str
+    ) -> RunOutcome:
+        """A terminal, typed failure: the spec's retry budget is gone."""
+        exc = RetryBudgetExhausted(
+            "retry budget exhausted",
+            spec_label=spec.label(),
+            attempts=attempts,
+            last_error=error,
+        )
+        return RunOutcome(
+            spec,
+            attempts=attempts,
+            error=str(exc),
+            error_type=type(exc).__name__,
+        )
+
+    def _journal_running(self, spec: ExperimentSpec, attempt: int) -> None:
+        if self.journal is not None:
+            self.journal.record_running(spec.spec_hash(), attempt)
+
     def _finish(self, outcome: RunOutcome) -> None:
         self._done_count += 1
+        cache_ok = outcome.cached
         if outcome.ok and not outcome.cached and self.cache is not None:
-            # cache under the spec that actually ran (honest on retries)
-            self.cache.put(outcome.executed_spec or outcome.spec, outcome.result)
+            try:
+                # cache under the spec that actually ran (honest on retries)
+                self.cache.put(
+                    outcome.executed_spec or outcome.spec, outcome.result
+                )
+                cache_ok = True
+            except OSError as exc:
+                # a failing cache must not take the campaign down: the
+                # result is still returned/journaled, just not reusable
+                self.cache_put_failures += 1
+                self._degrade({
+                    "kind": "cache_put_failure",
+                    "spec_hash": outcome.spec.spec_hash(),
+                    "error": f"{type(exc).__name__}: {exc}",
+                })
+        if self.journal is not None:
+            spec_hash = outcome.spec.spec_hash()
+            if outcome.ok:
+                self.journal.record_done(
+                    spec_hash,
+                    attempts=outcome.attempts,
+                    duration_s=outcome.duration_s,
+                    cached=outcome.cached,
+                    resumed=outcome.resumed,
+                    cache_ok=cache_ok,
+                    result_digest=hashlib.sha256(
+                        outcome.result.to_json().encode()
+                    ).hexdigest(),
+                )
+            else:
+                self.journal.record_failed(
+                    spec_hash,
+                    attempts=outcome.attempts,
+                    error=outcome.error or "",
+                    error_type=outcome.error_type,
+                )
         if self.artifacts is not None:
             self.artifacts.append(
                 outcome.spec,
@@ -545,6 +764,8 @@ class Runner:
                 attempts=outcome.attempts,
                 duration_s=outcome.duration_s,
                 error=outcome.error,
+                error_type=outcome.error_type,
+                resumed=outcome.resumed,
             )
         self._report(outcome)
 

@@ -1,0 +1,136 @@
+"""Structured end-of-campaign summary.
+
+:class:`CampaignReport` folds a campaign's outcomes plus the runner's
+and cache's supervision counters into one serializable record: how many
+specs succeeded / failed / came from cache or a resumed session, total
+attempts and retries, integrity quarantines, and every degradation
+event (pool breakages, backoffs, circuit-open, cache-write failures).
+``repro matrix`` prints it and appends it to the artifact store, so a
+campaign's health is inspectable long after its stderr scrolled away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runner.cache import ResultCache
+    from repro.runner.executor import Runner, RunOutcome
+
+
+@dataclass
+class CampaignReport:
+    """Outcomes, retries, quarantines and degradation events of one run."""
+
+    total: int = 0
+    ok: int = 0
+    failed: int = 0
+    cached: int = 0
+    resumed: int = 0
+    attempts: int = 0
+    retries: int = 0
+    quarantined: int = 0
+    stale_tmp_removed: int = 0
+    cache_put_failures: int = 0
+    pool_breakages: int = 0
+    serial_fallbacks: int = 0
+    circuit_opened: bool = False
+    degradation_events: list[dict] = field(default_factory=list)
+    #: terminal failures: {"label", "error_type", "error", "attempts"}
+    failures: list[dict] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @classmethod
+    def collect(
+        cls,
+        outcomes: Iterable["RunOutcome"],
+        *,
+        runner: "Runner | None" = None,
+        cache: "ResultCache | None" = None,
+        wall_s: float = 0.0,
+    ) -> "CampaignReport":
+        report = cls(wall_s=round(wall_s, 3))
+        for out in outcomes:
+            report.total += 1
+            report.attempts += out.attempts
+            report.retries += max(0, out.attempts - 1)
+            if out.cached:
+                report.cached += 1
+            if out.resumed:
+                report.resumed += 1
+            if out.ok:
+                report.ok += 1
+            else:
+                report.failed += 1
+                report.failures.append({
+                    "label": out.spec.label(),
+                    "error_type": out.error_type,
+                    "error": out.error,
+                    "attempts": out.attempts,
+                })
+        if runner is not None:
+            report.cache_put_failures = runner.cache_put_failures
+            report.pool_breakages = runner.pool_breakages
+            report.serial_fallbacks = runner.serial_fallbacks
+            report.circuit_opened = runner.circuit_open
+            report.degradation_events = list(runner.degradation_events)
+        if cache is not None:
+            report.quarantined = cache.quarantined
+            report.stale_tmp_removed = cache.stale_tmp_removed
+        return report
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cached": self.cached,
+            "resumed": self.resumed,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "stale_tmp_removed": self.stale_tmp_removed,
+            "cache_put_failures": self.cache_put_failures,
+            "pool_breakages": self.pool_breakages,
+            "serial_fallbacks": self.serial_fallbacks,
+            "circuit_opened": self.circuit_opened,
+            "degradation_events": list(self.degradation_events),
+            "failures": list(self.failures),
+            "wall_s": self.wall_s,
+        }
+
+    def format(self) -> str:
+        """A compact human-readable block for the end of ``repro matrix``."""
+        lines = [
+            "campaign report:",
+            f"  specs     : {self.total} total | {self.ok} ok, "
+            f"{self.failed} failed | {self.cached} cached, "
+            f"{self.resumed} resumed",
+            f"  attempts  : {self.attempts} ({self.retries} retries)",
+        ]
+        if self.quarantined or self.stale_tmp_removed or self.cache_put_failures:
+            lines.append(
+                f"  cache     : {self.quarantined} quarantined, "
+                f"{self.stale_tmp_removed} stale tmp swept, "
+                f"{self.cache_put_failures} write failures"
+            )
+        if self.pool_breakages or self.serial_fallbacks or self.circuit_opened:
+            lines.append(
+                f"  supervision: {self.pool_breakages} pool breakages, "
+                f"{self.serial_fallbacks} serial fallbacks"
+                + (", circuit OPEN (degraded to serial)"
+                   if self.circuit_opened else "")
+            )
+        for event in self.degradation_events:
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(event.items()) if k != "kind"
+            )
+            lines.append(f"  degraded  : {event.get('kind')} ({detail})")
+        for failure in self.failures:
+            lines.append(
+                f"  FAILED    : {failure['label']} "
+                f"[{failure['error_type'] or 'error'}, "
+                f"attempts={failure['attempts']}]: {failure['error']}"
+            )
+        return "\n".join(lines)

@@ -1,6 +1,9 @@
-"""Tests for the content-hashed on-disk result cache."""
+"""Tests for the content-hashed, checksummed on-disk result cache."""
+
+import json
 
 from repro.runner import ExperimentSpec, ResultCache
+from repro.runner.cache import result_checksum
 from repro.runner.executor import execute_spec
 
 SPEC = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
@@ -38,3 +41,92 @@ def test_clear(tmp_path):
     cache.clear()
     assert len(cache) == 0
     assert SPEC not in cache
+
+
+# -- integrity checking ----------------------------------------------------
+def test_entries_carry_verifiable_checksum(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    path = cache.put(SPEC, execute_spec(SPEC))
+    data = json.loads(path.read_text())
+    assert data["checksum"] == result_checksum(data["result"])
+
+
+def test_corrupt_entry_quarantined_not_destroyed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.path_for(SPEC).write_text("{not json")
+    assert cache.get(SPEC) is None
+    assert cache.quarantined == 1
+    moved = list(cache.quarantine_root.glob("*.json"))
+    assert len(moved) == 1  # preserved for post-mortem, never unlinked
+    assert moved[0].read_text() == "{not json"
+
+
+def test_checksum_mismatch_quarantined(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    path = cache.put(SPEC, execute_spec(SPEC))
+    data = json.loads(path.read_text())
+    data["result"]["total_cycles"] += 1  # silent bit-flip
+    path.write_text(json.dumps(data))
+    assert cache.get(SPEC) is None
+    assert cache.quarantined == 1 and cache.misses == 1
+
+
+def test_legacy_entry_without_checksum_quarantined(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    path = cache.put(SPEC, execute_spec(SPEC))
+    data = json.loads(path.read_text())
+    del data["checksum"]
+    path.write_text(json.dumps(data))
+    assert cache.get(SPEC) is None
+    assert cache.quarantined == 1
+
+
+def test_quarantine_hook_sees_spec_hash_and_reason(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    seen = []
+    cache.quarantine_hook = lambda spec_hash, reason: seen.append(
+        (spec_hash, reason)
+    )
+    cache.path_for(SPEC).write_text("{not json")
+    cache.get(SPEC)
+    assert seen == [(SPEC.spec_hash(), "unreadable JSON")]
+
+
+def test_verify_audits_whole_cache(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(SPEC, execute_spec(SPEC))
+    other = SPEC.with_(seed=9)
+    cache.path_for(other).write_text("{not json")
+    report = cache.verify()
+    assert report["checked"] == 2 and report["ok"] == 1
+    assert report["quarantined"] == [
+        {"entry": cache.path_for(other).name, "reason": "unreadable JSON"}
+    ]
+    # the sound entry survived the audit and still hits
+    assert cache.get(SPEC) is not None
+
+
+def test_quarantine_name_collisions_suffixed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    for _ in range(2):
+        cache.path_for(SPEC).write_text("{not json")
+        assert cache.get(SPEC) is None
+    assert len(list(cache.quarantine_root.iterdir())) == 2
+
+
+# -- orphaned temp files ---------------------------------------------------
+def test_stale_tmp_files_swept_on_init(tmp_path):
+    root = tmp_path / "cache"
+    root.mkdir()
+    (root / "deadbeef0123.tmp").write_text("half-written")
+    cache = ResultCache(root)
+    assert cache.stale_tmp_removed == 1
+    assert not list(root.glob("*.tmp"))
+    assert cache.stats()["stale_tmp_removed"] == 1
+
+
+def test_stats_keys(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert set(cache.stats()) == {
+        "hits", "misses", "entries", "quarantined", "stale_tmp_removed"
+    }

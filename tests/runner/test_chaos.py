@@ -1,0 +1,153 @@
+"""Tests for the runner-level chaos harness and its invariant audit.
+
+The acceptance test of the resilience layer lives here: run a matrix
+under injected faults, kill the campaign mid-flight, resume it over the
+same journal and cache, and prove that no spec was lost, none completed
+twice, and the merged results are byte-identical to an uninterrupted
+run.
+"""
+
+import pytest
+
+from repro.runner import ExperimentSpec
+from repro.runner.chaos import (
+    CHAOS_PRESETS,
+    ChaosCampaignReport,
+    ChaosPlan,
+    FlakyCache,
+    _check_invariants,
+    _fire_once,
+    chaos_plan,
+    chaos_roll,
+    run_chaos_campaign,
+    write_chaos_report,
+)
+from repro.runner.journal import JournalState, SpecState
+
+TINY = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
+SPECS = [TINY.with_(seed=s) for s in (1, 2, 3)]
+
+
+# -- determinism and once-semantics ---------------------------------------
+def test_chaos_roll_deterministic_and_uniform_range():
+    a = chaos_roll(7, "spec-a", "crash")
+    assert a == chaos_roll(7, "spec-a", "crash")
+    assert 0.0 <= a < 1.0
+    # seed, key and kind all feed the roll
+    assert a != chaos_roll(8, "spec-a", "crash")
+    assert a != chaos_roll(7, "spec-b", "crash")
+    assert a != chaos_roll(7, "spec-a", "hang")
+
+
+def test_chaos_plan_presets_and_reseed():
+    plan = chaos_plan("crash", seed=42)
+    assert plan.crash_rate > 0 and plan.seed == 42
+    assert chaos_plan("crash").seed == CHAOS_PRESETS["crash"].seed
+    with pytest.raises(ValueError, match="unknown chaos preset"):
+        chaos_plan("meteor-strike")
+
+
+def test_fault_fires_exactly_once_per_spec(tmp_path):
+    plan = ChaosPlan(seed=1, crash_rate=1.0)
+    assert _fire_once(plan, str(tmp_path), "spec-a", "crash", 1.0)
+    # the marker file makes the fault transient: it never fires again
+    assert not _fire_once(plan, str(tmp_path), "spec-a", "crash", 1.0)
+    # other specs are independent
+    assert _fire_once(plan, str(tmp_path), "spec-b", "crash", 1.0)
+
+
+def test_zero_rate_never_fires(tmp_path):
+    plan = ChaosPlan(seed=1)
+    assert not _fire_once(plan, str(tmp_path), "spec-a", "crash", 0.0)
+    assert not list(tmp_path.iterdir())  # no marker written
+
+
+def test_flaky_cache_write_fails_once_then_heals(tmp_path):
+    from repro.runner.executor import execute_spec
+
+    plan = ChaosPlan(seed=1, cache_fail_rate=1.0)
+    markers = tmp_path / "markers"
+    markers.mkdir()
+    cache = FlakyCache(tmp_path / "cache", plan, markers)
+    result = execute_spec(TINY)
+    with pytest.raises(OSError, match="injected cache-write failure"):
+        cache.put(TINY, result)
+    cache.put(TINY, result)  # the fault healed
+    assert TINY in cache
+
+
+# -- the acceptance test: kill, resume, audit ------------------------------
+def test_crash_campaign_killed_and_resumed_converges(tmp_path):
+    verdict = run_chaos_campaign(
+        SPECS, chaos_plan("crash", seed=2), tmp_path / "campaign",
+        jobs=2, retries=2, kill_after=1,
+    )
+    assert verdict.passed, verdict.violations
+    assert verdict.invariants == {
+        "no_spec_lost": True,
+        "no_duplicate_completion": True,
+        "resume_converged": True,
+        "results_byte_identical": True,
+        "failures_typed": True,
+    }
+    assert verdict.journal_stats["sessions"] == 2  # killed + resumed
+    assert verdict.campaign["failed"] == 0
+
+
+def test_corrupt_campaign_quarantines_and_stays_byte_identical(tmp_path):
+    verdict = run_chaos_campaign(
+        SPECS, chaos_plan("corrupt", seed=1), tmp_path / "campaign",
+        jobs=2, retries=2, kill_after=1,
+    )
+    assert verdict.passed, verdict.violations
+    assert verdict.invariants["results_byte_identical"]
+
+
+def test_report_written_for_ci(tmp_path):
+    import json
+
+    verdict = run_chaos_campaign(
+        SPECS[:2], chaos_plan("cache-flaky", seed=1), tmp_path / "campaign",
+        jobs=2, retries=2, kill_after=1,
+    )
+    path = write_chaos_report(verdict, tmp_path / "report.json")
+    doc = json.loads(path.read_text())
+    assert doc["passed"] == verdict.passed
+    assert set(doc["invariants"]) == set(verdict.invariants)
+    assert "campaign" in doc and "journal" in doc
+
+
+# -- the auditor actually catches violations -------------------------------
+def _doctored_state(**spec_kwargs):
+    state = JournalState(sessions=2)
+    spec = SpecState(spec_hash=SPECS[0].spec_hash(), **spec_kwargs)
+    state.specs[spec.spec_hash] = spec
+    return state
+
+
+def test_auditor_flags_lost_spec():
+    verdict = ChaosCampaignReport(plan="t", seed=0, n_specs=1,
+                                  killed_after=1)
+    state = _doctored_state(status="running")
+    _check_invariants(verdict, SPECS[:1], [], state, {})
+    assert not verdict.invariants["no_spec_lost"]
+    assert any("spec lost" in v for v in verdict.violations)
+
+
+def test_auditor_flags_duplicate_completion():
+    verdict = ChaosCampaignReport(plan="t", seed=0, n_specs=1,
+                                  killed_after=1)
+    state = _doctored_state(status="done", completions=2,
+                            duplicate_completions=1)
+    _check_invariants(verdict, SPECS[:1], [], state, {})
+    assert not verdict.invariants["no_duplicate_completion"]
+    assert any("completed 2 times" in v for v in verdict.violations)
+
+
+def test_auditor_flags_unconverged_resume():
+    verdict = ChaosCampaignReport(plan="t", seed=0, n_specs=2,
+                                  killed_after=1)
+    state = _doctored_state(status="done")
+    _check_invariants(verdict, SPECS[:2], [], state, {})
+    assert not verdict.invariants["resume_converged"]
+    assert any("resolved 0 of 2" in v for v in verdict.violations)

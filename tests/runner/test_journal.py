@@ -1,0 +1,182 @@
+"""Tests for the write-ahead campaign journal."""
+
+import json
+
+import pytest
+
+from repro.errors import CampaignJournalError
+from repro.runner import ExperimentSpec
+from repro.runner.journal import CampaignJournal, campaign_hash
+
+TINY = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
+SPECS = [TINY.with_(seed=s) for s in (1, 2, 3)]
+
+
+def _journal(tmp_path, name="campaign.journal"):
+    # fsync off: these tests exercise logic, not storage durability
+    return CampaignJournal(tmp_path / name, fsync=False)
+
+
+# -- basics ----------------------------------------------------------------
+def test_campaign_hash_order_independent():
+    assert campaign_hash(["a", "b", "c"]) == campaign_hash(["c", "a", "b"])
+    assert campaign_hash(["a"]) != campaign_hash(["a", "b"])
+
+
+def test_begin_then_replay_roundtrip(tmp_path):
+    with _journal(tmp_path) as journal:
+        prior = journal.begin(SPECS)
+        assert prior.sessions == 0 and not prior.specs
+        h = SPECS[0].spec_hash()
+        journal.record_running(h, attempt=1)
+        journal.record_done(h, attempts=1, duration_s=0.5, cached=False,
+                            resumed=False, cache_ok=True, result_digest="d1")
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    assert state.sessions == 1
+    assert len(state.specs) == 3  # the pending set was journaled up front
+    spec = state.specs[h]
+    assert spec.status == "done" and spec.terminal
+    assert spec.attempts == 1 and spec.result_digest == "d1"
+    assert spec.label == SPECS[0].label()
+    # the two never-started specs are "lost" unless the campaign resumes
+    assert {s.spec_hash for s in state.lost} == {
+        SPECS[1].spec_hash(), SPECS[2].spec_hash()
+    }
+
+
+def test_failed_state_carries_typed_error(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        h = SPECS[0].spec_hash()
+        journal.record_running(h, attempt=1)
+        journal.record_failed(h, attempts=2, error="boom",
+                              error_type="RetryBudgetExhausted")
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    spec = state.specs[h]
+    assert spec.status == "failed" and spec.terminal
+    assert spec.error == "boom"
+    assert spec.error_type == "RetryBudgetExhausted"
+    assert state.failed == [spec] and not state.done
+
+
+# -- resume semantics ------------------------------------------------------
+def test_resume_replays_prior_sessions(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS)
+        h = SPECS[0].spec_hash()
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+    with _journal(tmp_path) as journal:
+        prior = journal.begin(SPECS)
+    assert prior.sessions == 1
+    assert prior.specs[h].status == "done"
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    assert state.sessions == 2
+    # the pending set is written once, not re-written per session
+    assert len(state.specs) == 3
+
+
+def test_resume_with_different_matrix_refused(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS)
+    with _journal(tmp_path) as journal:
+        with pytest.raises(CampaignJournalError, match="different campaign"):
+            journal.begin([TINY.with_(seed=99)])
+
+
+# -- crash tolerance -------------------------------------------------------
+def test_truncated_trailing_line_skipped_and_counted(tmp_path):
+    path = tmp_path / "campaign.journal"
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+    with path.open("a") as stream:
+        stream.write('{"event": "spec_done", "spec_ha')  # SIGKILL here
+    state = CampaignJournal.replay(path)
+    assert state.truncated_lines == 1
+    assert state.sessions == 1  # everything before the kill survived
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = tmp_path / "campaign.journal"
+    lines = [
+        json.dumps({"event": "campaign_begin", "campaign_hash": "x"}),
+        "{definitely not json",
+        json.dumps({"event": "spec_running", "spec_hash": "h", "attempt": 1}),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(CampaignJournalError, match="line 2"):
+        CampaignJournal.replay(path)
+
+
+def test_replay_of_missing_file_is_empty(tmp_path):
+    state = CampaignJournal.replay(tmp_path / "nope.journal")
+    assert not state.specs and state.sessions == 0
+
+
+# -- the duplicate-completion invariant ------------------------------------
+def test_duplicate_completion_detected(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        h = SPECS[0].spec_hash()
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+        # a second execution-to-completion with the cached copy intact
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    spec = state.specs[h]
+    assert spec.completions == 2
+    assert spec.duplicate_completions == 1
+    assert state.duplicates == [spec]
+
+
+def test_cache_hit_is_not_a_completion(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        h = SPECS[0].spec_hash()
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+        journal.record_done(h, attempts=0, duration_s=0.0, cached=True,
+                            resumed=True, cache_ok=True)
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    spec = state.specs[h]
+    assert spec.completions == 1 and spec.duplicate_completions == 0
+    assert spec.cached and spec.resumed
+
+
+def test_quarantine_justifies_reexecution(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        h = SPECS[0].spec_hash()
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+        journal.record_quarantine(h, reason="checksum mismatch")
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    spec = state.specs[h]
+    assert spec.completions == 2
+    assert spec.duplicate_completions == 0  # the quarantine justified it
+    assert spec.quarantines == 1
+
+
+def test_failed_cache_write_justifies_reexecution(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        h = SPECS[0].spec_hash()
+        # completion whose cache write did not stick
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=False)
+        journal.record_done(h, attempts=1, duration_s=0.1, cached=False,
+                            resumed=False, cache_ok=True)
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    assert state.specs[h].duplicate_completions == 0
+
+
+def test_degradation_events_replayed(tmp_path):
+    with _journal(tmp_path) as journal:
+        journal.begin(SPECS[:1])
+        journal.record_degradation({"kind": "pool_breakage", "backoff_s": 0.1})
+    state = CampaignJournal.replay(tmp_path / "campaign.journal")
+    assert len(state.degradations) == 1
+    assert state.degradations[0]["kind"] == "pool_breakage"

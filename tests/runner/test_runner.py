@@ -30,6 +30,11 @@ def pool_killing_worker(spec):
     return execute_spec(spec).to_json()
 
 
+def garbage_worker(spec):
+    # a mangled payload crossing the process boundary
+    return "{definitely not a result"
+
+
 # -- serial execution -----------------------------------------------------
 def test_serial_run_matches_execute_spec():
     outcome = Runner(max_workers=1, retries=0).run_one(TINY)
@@ -100,12 +105,128 @@ def test_retries_exhausted_reports_error():
     assert all("boom" in o.error for o in outcomes)
 
 
+# -- failure paths: timeouts, retry accounting, typed exhaustion ----------
+def test_timeout_retry_accounting():
+    runner = Runner(
+        max_workers=2, timeout=0.2, retries=1, worker=sleepy_worker
+    )
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    for outcome in outcomes:
+        assert not outcome.ok
+        assert outcome.attempts == 2  # the initial try plus one retry
+        assert outcome.error_type == "RetryBudgetExhausted"
+        assert "timed out" in outcome.error
+
+
+def test_pool_retry_seed_offset_accounting():
+    # chunked path: attempt k runs with seed + (k-1) * offset, so the
+    # third attempt (3 + 2*500 = 1003) clears crashy_worker's threshold
+    with Runner(
+        max_workers=2, retries=2, retry_seed_offset=500,
+        worker=crashy_worker, chunk_size=1,
+    ) as runner:
+        outcomes = runner.run([TINY.with_(seed=3), TINY.with_(seed=4)])
+    for outcome in outcomes:
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert outcome.executed_spec.seed == outcome.spec.seed + 1000
+
+
+def test_exhaustion_is_typed():
+    runner = Runner(
+        max_workers=1, retries=1, retry_seed_offset=1, worker=crashy_worker
+    )
+    outcome = runner.run_one(TINY.with_(seed=1))
+    assert not outcome.ok
+    assert outcome.error_type == "RetryBudgetExhausted"
+    assert "retry budget exhausted" in outcome.error
+    assert "boom" in outcome.error  # the last underlying error rides along
+
+
+def test_corrupt_payload_is_retried_not_fatal():
+    # a worker returning garbage must not crash the parent campaign
+    runner = Runner(max_workers=2, retries=0, worker=garbage_worker)
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    for outcome in outcomes:
+        assert not outcome.ok
+        assert outcome.error_type == "RetryBudgetExhausted"
+        assert "corrupt result payload" in outcome.error
+
+
 # -- graceful degradation to serial ---------------------------------------
 def test_broken_pool_falls_back_to_serial():
     runner = Runner(max_workers=2, retries=0, worker=pool_killing_worker)
     outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
     assert all(o.ok for o in outcomes)
     assert runner.serial_fallbacks >= 1
+
+
+def test_pool_breakage_supervision_recorded():
+    runner = Runner(
+        max_workers=2, retries=0, worker=pool_killing_worker,
+        backoff_base_s=0.0,
+    )
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(o.ok for o in outcomes)  # the specs still got done
+    # every pool dispatch broke: recycled until the circuit opened
+    assert runner.pool_breakages == runner.breaker_threshold
+    assert runner.circuit_open
+    kinds = [e["kind"] for e in runner.degradation_events]
+    assert kinds.count("pool_breakage") == runner.pool_breakages
+    assert "circuit_open" in kinds
+    # every breakage reported how many specs it left unresolved
+    assert all(
+        e["unresolved"] >= 1 for e in runner.degradation_events
+        if e["kind"] == "pool_breakage"
+    )
+
+
+def test_breaker_threshold_one_opens_immediately():
+    runner = Runner(
+        max_workers=2, retries=0, worker=pool_killing_worker,
+        breaker_threshold=1, backoff_base_s=0.0,
+    )
+    outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    assert all(o.ok for o in outcomes)
+    assert runner.pool_breakages == 1 and runner.circuit_open
+    assert runner.serial_fallbacks == 1
+
+
+def test_open_circuit_skips_pool_on_later_runs():
+    with Runner(
+        max_workers=2, retries=0, worker=pool_killing_worker,
+        breaker_threshold=1, backoff_base_s=0.0,
+    ) as runner:
+        runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+        assert runner.circuit_open
+        outcomes = runner.run([TINY.with_(seed=5), TINY.with_(seed=6)])
+        assert all(o.ok for o in outcomes)
+        assert runner._pool is None  # degraded: no pool was spawned
+        assert runner.pool_breakages == 1  # no new breakages either
+
+
+def test_backoff_jitter_deterministic_per_seed():
+    a = Runner(supervision_seed=7)
+    b = Runner(supervision_seed=7)
+    c = Runner(supervision_seed=8)
+    rolls_a = [a._jitter(n) for n in range(1, 4)]
+    assert rolls_a == [b._jitter(n) for n in range(1, 4)]
+    assert rolls_a != [c._jitter(n) for n in range(1, 4)]
+    assert all(0.0 <= r < 1.0 for r in rolls_a)
+
+
+def test_cache_put_failure_tolerated(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+
+    def failing_put(spec, result):
+        raise OSError("disk full")
+
+    cache.put = failing_put
+    runner = Runner(max_workers=1, retries=0, cache=cache)
+    outcome = runner.run_one(TINY)
+    assert outcome.ok  # the result survived the failed write
+    assert runner.cache_put_failures == 1
+    assert runner.degradation_events[0]["kind"] == "cache_put_failure"
 
 
 def test_pool_creation_failure_falls_back_to_serial(monkeypatch):
@@ -117,6 +238,69 @@ def test_pool_creation_failure_falls_back_to_serial(monkeypatch):
     outcomes = runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
     assert all(o.ok for o in outcomes)
     assert runner.serial_fallbacks == 1
+
+
+# -- journaled campaigns ---------------------------------------------------
+def test_journaled_run_reaches_terminal_states(tmp_path):
+    from repro.runner import CampaignJournal
+
+    journal_path = tmp_path / "campaign.journal"
+    with Runner(max_workers=1, retries=0, journal=journal_path) as runner:
+        runner.run([TINY.with_(seed=1), TINY.with_(seed=2)])
+    state = CampaignJournal.replay(journal_path)
+    assert len(state.done) == 2 and not state.lost
+    assert state.sessions == 1
+    for spec_state in state.done:
+        assert spec_state.result_digest  # byte-identity audit material
+
+
+def test_resumed_campaign_satisfied_from_cache(tmp_path):
+    from repro.runner import CampaignJournal
+
+    journal_path = tmp_path / "campaign.journal"
+    specs = [TINY.with_(seed=1), TINY.with_(seed=2)]
+    cache_dir = tmp_path / "cache"
+    with Runner(
+        max_workers=1, retries=0, cache=cache_dir, journal=journal_path
+    ) as runner:
+        first = runner.run(specs)
+    with Runner(
+        max_workers=1, retries=0, cache=cache_dir, journal=journal_path
+    ) as runner:
+        second = runner.run(specs)
+    assert all(o.cached and o.resumed for o in second)
+    assert [o.result.to_json() for o in second] == [
+        o.result.to_json() for o in first
+    ]
+    state = CampaignJournal.replay(journal_path)
+    assert state.sessions == 2
+    assert not state.duplicates  # cache hits are not re-completions
+
+
+def test_resume_with_different_matrix_refused_by_runner(tmp_path):
+    import pytest
+
+    from repro.errors import CampaignJournalError
+
+    journal_path = tmp_path / "campaign.journal"
+    with Runner(max_workers=1, retries=0, journal=journal_path) as runner:
+        runner.run([TINY.with_(seed=1)])
+    with Runner(max_workers=1, retries=0, journal=journal_path) as runner:
+        with pytest.raises(CampaignJournalError):
+            runner.run([TINY.with_(seed=99)])
+
+
+def test_journal_records_typed_failures(tmp_path):
+    from repro.runner import CampaignJournal
+
+    journal_path = tmp_path / "campaign.journal"
+    with Runner(
+        max_workers=1, retries=0, worker=crashy_worker, journal=journal_path
+    ) as runner:
+        runner.run([TINY.with_(seed=1)])
+    state = CampaignJournal.replay(journal_path)
+    (failed,) = state.failed
+    assert failed.error_type == "RetryBudgetExhausted"
 
 
 # -- artifacts & progress --------------------------------------------------

@@ -84,6 +84,84 @@ def test_matrix_command_caches_results(capsys, tmp_path):
     assert stat_rows(first) == stat_rows(second)
 
 
+def test_matrix_prints_campaign_report(capsys, tmp_path):
+    rc = main(["matrix", "--workloads", "ssca2", "--schemes", "suv",
+               "--seeds", "1", "--scale", "tiny", "--cores", "4",
+               "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+               "--quiet"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "campaign report:" in out
+    assert "1 total | 1 ok, 0 failed" in out
+
+
+def test_matrix_resume_satisfies_from_journal(capsys, tmp_path):
+    argv = ["matrix", "--workloads", "ssca2", "--schemes", "suv",
+            "--seeds", "1", "2", "--scale", "tiny", "--cores", "4",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--resume", str(tmp_path / "campaign.journal"), "--quiet"]
+    assert main(argv) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache hits 2/2" in out
+    assert "2 cached, 2 resumed" in out
+
+
+def test_matrix_report_appended_to_artifacts(tmp_path):
+    import json
+
+    artifacts = tmp_path / "runs.jsonl"
+    rc = main(["matrix", "--workloads", "ssca2", "--schemes", "suv",
+               "--seeds", "1", "--scale", "tiny", "--cores", "4",
+               "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+               "--artifacts", str(artifacts), "--quiet"])
+    assert rc == 0
+    records = [json.loads(line) for line in artifacts.read_text().splitlines()]
+    assert records[-1]["kind"] == "campaign_report"
+    assert records[-1]["report"]["ok"] == 1
+
+
+def test_cache_verify_command(capsys, tmp_path):
+    from repro.runner import ExperimentSpec, ResultCache
+    from repro.runner.executor import execute_spec
+
+    spec = ExperimentSpec("ssca2", scheme="suv", scale="tiny", cores=4)
+    cache = ResultCache(tmp_path / "cache")
+    cache.put(spec, execute_spec(spec))
+    assert main(["cache", "verify", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    assert "1 ok, 0 quarantined" in capsys.readouterr().out
+
+    cache.path_for(spec).write_text("{not json")
+    assert main(["cache", "verify", "--cache-dir",
+                 str(tmp_path / "cache")]) == 1
+    out = capsys.readouterr().out
+    assert "1 quarantined" in out and "unreadable JSON" in out
+
+
+def test_cache_stats_command(capsys, tmp_path):
+    from repro.runner import ResultCache
+
+    ResultCache(tmp_path / "cache")  # create an empty cache
+    assert main(["cache", "stats", "--cache-dir",
+                 str(tmp_path / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "quarantined" in out
+
+
+def test_chaos_command_smoke(capsys, tmp_path):
+    rc = main(["chaos", "--presets", "crash", "--seeds", "2",
+               "--workloads", "ssca2", "--schemes", "suv",
+               "--scale", "tiny", "--cores", "4", "--jobs", "2",
+               "--kill-after", "1", "--root", str(tmp_path / "chaos")])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "1 campaigns | 1 passed, 0 failed" in out
+    assert (tmp_path / "chaos" / "crash-s2" / "report.json").exists()
+    assert (tmp_path / "chaos" / "crash-s2" / "campaign.journal").exists()
+
+
 def test_run_trace_chrome(tmp_path, capsys):
     import json
 

@@ -6,11 +6,13 @@ from repro.config import SimConfig
 from repro.core.preserved_pool import PreservedPool
 from repro.errors import (
     BudgetExhausted,
+    CampaignJournalError,
     DeadlockError,
     InvariantViolation,
     OracleViolation,
     PoolExhausted,
     ReproError,
+    RetryBudgetExhausted,
     SimulationError,
     TransactionError,
     format_wait_graph,
@@ -33,6 +35,29 @@ def test_assertion_flavoured_errors():
     assert issubclass(InvariantViolation, AssertionError)
     assert issubclass(OracleViolation, AssertionError)
     assert issubclass(PoolExhausted, RuntimeError)
+
+
+def test_campaign_errors_are_runtime_errors():
+    for cls in (RetryBudgetExhausted, CampaignJournalError):
+        assert issubclass(cls, RuntimeError)
+        assert issubclass(cls, ReproError)
+
+
+def test_retry_budget_exhausted_renders_context():
+    err = RetryBudgetExhausted(
+        "retry budget exhausted", spec_label="ssca2/suv/s3",
+        attempts=3, last_error="RuntimeError: boom",
+    )
+    assert "ssca2/suv/s3" in str(err)
+    assert "attempts=3" in str(err)
+    assert "RuntimeError: boom" in str(err)
+    assert err.attempts == 3 and err.last_error == "RuntimeError: boom"
+
+
+def test_campaign_journal_error_carries_path():
+    err = CampaignJournalError("corrupt record", path="/tmp/c.journal")
+    assert "journal=/tmp/c.journal" in str(err)
+    assert err.path == "/tmp/c.journal"
 
 
 # ----------------------------------------------------------------------
