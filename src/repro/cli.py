@@ -22,6 +22,11 @@ Commands:
   schema-versioned ``BENCH_<date>.json``.
 * ``compare-bench`` — diff two BENCH files; exits non-zero past the
   regression thresholds (the CI gate).
+* ``study`` — design-space study: sweep the legal policy space over a
+  workload set, rank combinations, compute per-workload Pareto fronts
+  over (cycles, aborts, pool high-water) and write a schema-versioned
+  ``STUDY_<date>.json``; ``study report`` re-renders one, ``study
+  compare`` diffs two modulo volatile sections (the determinism gate).
 * ``hwcost`` — print the Table VII / Section V-C hardware-cost report.
 * ``list`` — list workloads, schemes and fault-plan presets.
 
@@ -42,6 +47,7 @@ import time
 from repro.config import SimConfig
 from repro.errors import IncompatiblePolicyError, UnknownSchemeError
 from repro.faults import list_presets
+from repro.htm.policy import RESOLUTION_AXIS
 from repro.htm.vm.base import available_schemes, resolve_scheme_name
 from repro.runner import (
     ArtifactStore,
@@ -652,7 +658,94 @@ def cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
-_RESOLUTIONS = ("stall", "abort_requester", "abort_responder", "timestamp")
+#: resolution choices come from the policy registry, never a hardcoded
+#: list — new contention managers appear in every ``--resolution`` flag
+#: (and in ``repro schemes``) the moment they are registered
+_RESOLUTIONS = RESOLUTION_AXIS
+
+
+def _split_commas(values: list[str]) -> tuple[str, ...]:
+    """Flatten ``["a,b", "c"]`` → ``("a", "b", "c")`` (argparse helper)."""
+    out: list[str] = []
+    for value in values:
+        out.extend(v for v in value.split(",") if v)
+    return tuple(out)
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    """Design-space study: sweep, rank, Pareto-front, report."""
+    from repro.study import (
+        StudySpace,
+        compare_studies,
+        format_csv,
+        format_markdown,
+        load_study,
+        run_study,
+        write_study,
+    )
+
+    sub_cmd = getattr(args, "study_cmd", None)
+    if sub_cmd == "report":
+        doc = load_study(args.study_file)
+        print(format_csv(doc) if args.csv else format_markdown(doc), end="")
+        return 0
+    if sub_cmd == "compare":
+        problems = compare_studies(
+            load_study(args.baseline), load_study(args.current)
+        )
+        if problems:
+            print(f"{len(problems)} difference(s) "
+                  f"(volatile sections ignored):")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print("studies identical (volatile sections ignored)")
+        return 0
+
+    try:
+        space = StudySpace(
+            workloads=_split_commas(args.workloads),
+            scale=args.scale,
+            seeds=tuple(args.seeds),
+            cores=args.cores,
+            threads=args.threads,
+            stagger=args.stagger,
+            vms=_split_commas(args.vms),
+            cds=_split_commas(args.cds),
+            resolutions=_split_commas(args.resolutions),
+            arbitrations=_split_commas(args.arbitrations),
+            verify=not args.no_verify,
+        )
+        space.matrix()  # raises typed when the filters leave nothing
+    except IncompatiblePolicyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    unknown = [w for w in space.workloads if w not in _WORKLOAD_CHOICES]
+    if unknown:
+        print(f"error: unknown workload(s): {', '.join(unknown)} "
+              f"(see `repro list`)", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        desc = space.describe()
+        print(f"study: {len(space.workloads)} workload(s) × "
+              f"{desc['combos']} legal combos × {len(space.seeds)} seed(s) "
+              f"= {len(space.specs())} runs", file=sys.stderr)
+    doc = run_study(
+        space,
+        jobs=args.jobs or None,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        journal=getattr(args, "resume", None) or None,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=not args.quiet,
+    )
+    path = write_study(doc, args.out, date=args.date)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(format_markdown(doc), end="")
+    print(f"\nstudy written to {path}", file=sys.stderr)
+    return 1 if doc["failures"] else 0
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -876,6 +969,67 @@ def build_parser() -> argparse.ArgumentParser:
                    help="tolerated calibrated wall-time slowdown "
                         "(fraction; fidelity metrics always exact)")
     p.set_defaults(fn=cmd_compare_bench)
+
+    p = sub.add_parser(
+        "study",
+        help="design-space study: sweep the legal policy space, rank "
+             "per workload, compute Pareto fronts, write STUDY_<date>.json",
+    )
+    p.add_argument("--workloads", nargs="+", default=["starve", "ssca2"],
+                   help="workload set (space- or comma-separated)")
+    p.add_argument("--vms", nargs="+", default=[],
+                   help="vm-axis filter (default: the whole axis)")
+    p.add_argument("--cds", nargs="+", default=[],
+                   help="cd-axis filter (default: the whole axis)")
+    p.add_argument("--resolutions", nargs="+", default=[],
+                   help="resolution-axis filter (default: the whole axis)")
+    p.add_argument("--arbitrations", nargs="+", default=[],
+                   help="arbitration-axis filter (default: the whole axis)")
+    p.add_argument("--seeds", "--seed", type=int, nargs="+", default=[1])
+    p.add_argument("--scale", choices=("tiny", "small", "full"),
+                   default="tiny")
+    p.add_argument("--cores", type=int, default=8)
+    p.add_argument("--threads", type=int, default=0)
+    p.add_argument("--stagger", type=int, default=512)
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--jobs", type=int, default=0,
+                   help="worker processes (0 = auto, at least 2)")
+    p.add_argument("--cache-dir",
+                   default=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"))
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute everything, touch no cache")
+    p.add_argument("--timeout", type=float, default=900.0,
+                   help="per-run timeout in seconds")
+    p.add_argument("--retries", type=int, default=1)
+    p.add_argument("--resume", metavar="JOURNAL",
+                   help="write-ahead campaign journal (resumes a killed "
+                        "study when re-run with the same path)")
+    p.add_argument("--out", default="studies",
+                   help="directory for STUDY_<date>.json (default: studies)")
+    p.add_argument("--date", default=None,
+                   help="override the date stamp in the output filename")
+    p.add_argument("--json", action="store_true",
+                   help="print the full STUDY document instead of markdown")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-run progress lines")
+    study_sub = p.add_subparsers(dest="study_cmd")
+    sp = study_sub.add_parser(
+        "report", help="re-render an existing STUDY file"
+    )
+    sp.add_argument("study_file", help="a STUDY_*.json")
+    sp.add_argument("--csv", action="store_true",
+                    help="flat per-(workload, scheme) CSV instead of "
+                         "markdown")
+    sp.set_defaults(fn=cmd_study)
+    sp = study_sub.add_parser(
+        "compare",
+        help="diff two STUDY files modulo volatile sections; non-zero "
+             "exit when the deterministic analysis differs",
+    )
+    sp.add_argument("baseline", help="baseline STUDY_*.json")
+    sp.add_argument("current", help="candidate STUDY_*.json")
+    sp.set_defaults(fn=cmd_study)
+    p.set_defaults(fn=cmd_study)
 
     p = sub.add_parser(
         "profile",

@@ -134,7 +134,10 @@ class HTMConfig:
     #: ``abort_requester`` (requester immediately aborts — partially,
     #: at the innermost nesting level), ``abort_responder`` (the
     #: paper's alternative: the holder aborts so the requester runs),
-    #: or ``timestamp`` (the older transaction wins the conflict).
+    #: ``timestamp`` (the older transaction wins the conflict), or one
+    #: of the contention managers ``polite``/``greedy``/``karma`` (see
+    #: :mod:`repro.htm.policy` for their semantics).  The legal value
+    #: set is :data:`repro.htm.policy.RESOLUTION_AXIS`.
     resolution: str = ""
     #: commit-arbitration axis for lazy-mode commits: ``serial`` (one
     #: committer at a time, the classic global token) or ``widthN``
@@ -190,9 +193,11 @@ class HTMConfig:
             resolution = mapped
         if not resolution:
             resolution = "stall"
-        if resolution not in (
-            "stall", "abort_requester", "abort_responder", "timestamp"
-        ):
+        # deferred import: repro.htm.policy (via the repro.htm package)
+        # imports this module at load time
+        from repro.htm.policy import RESOLUTION_AXIS
+
+        if resolution not in RESOLUTION_AXIS:
             raise ValueError(f"unknown conflict resolution {resolution!r}")
         arb = self.arbitration
         if arb != "serial" and not (

@@ -24,7 +24,11 @@ policy as independent config knobs):
     ``stall`` (requester waits; wait-for cycles abort the youngest),
     ``abort_requester`` (requester partially aborts), ``abort_responder``
     (the paper's alternative: the holder aborts), ``timestamp``
-    (older transaction wins, younger aborts — livelock-free by age).
+    (older transaction wins, younger aborts — livelock-free by age),
+    ``polite`` (exponential-backoff stalling, then the holder yields),
+    ``greedy`` (the Greedy contention manager: timestamp seniority with
+    waiting holders abortable — starvation-free), ``karma`` (accumulated
+    work as priority, retained and incremented across aborts).
 
 ``arbitration`` — *how lazy commits serialize*
     ``serial`` (one global commit token, TCC-style) or ``widthN``
@@ -63,7 +67,8 @@ VM_AXIS: tuple[str, ...] = ("undo", "flash", "redirect", "buffer", "mvsuv")
 CD_AXIS: tuple[str, ...] = ("eager", "lazy", "adaptive")
 #: resolution axis: who yields on an eager conflict
 RESOLUTION_AXIS: tuple[str, ...] = (
-    "stall", "abort_requester", "abort_responder", "timestamp"
+    "stall", "abort_requester", "abort_responder", "timestamp",
+    "polite", "greedy", "karma",
 )
 #: arbitration axis values enumerated by the registry; ``parse_width``
 #: accepts any ``widthN`` with N >= 2 beyond these
@@ -469,6 +474,201 @@ class TimestampResolution(ConflictResolution):
             sim._begin_abort(core)
 
 
+class _EpisodeTracking:
+    """Per-requester conflict-episode counters for contention managers.
+
+    An *episode* is one requester repeatedly re-resolving the same
+    conflict (same holder, same address, same attempt of its outermost
+    frame); the stall-retry machinery re-invokes ``resolve`` each time
+    the conflict persists.  Counters live on the policy object, which is
+    per-:class:`~repro.simulator.Simulator`, so runs stay deterministic
+    and independent.
+    """
+
+    def __init__(self) -> None:
+        self._episodes: dict[int, tuple[tuple[int, int, int], int]] = {}
+
+    def _tries(self, core: "_Core", holder_idx: int, op: object) -> int:
+        """Consecutive resolves of this episode, starting at 1."""
+        key = (
+            holder_idx,
+            getattr(op, "addr", -1),
+            core.frames[0].attempt if core.frames else -1,
+        )
+        prev_key, count = self._episodes.get(core.idx, (None, 0))
+        count = count + 1 if prev_key == key else 1
+        self._episodes[core.idx] = (key, count)
+        return count
+
+    def _forget(self, core: "_Core") -> None:
+        self._episodes.pop(core.idx, None)
+
+
+class PoliteResolution(_EpisodeTracking, ConflictResolution):
+    """Exponential-backoff stalling, then the obstructing holder yields.
+
+    The Polite contention manager of Scherer & Scott: the requester
+    backs off politely — each re-encounter of the same conflict doubles
+    its stall-retry period (capped by ``htm.backoff_cap``) — and only
+    after ``patience`` rounds does it lose its temper and abort the
+    holder.  Wait-for cycles are broken like the Stall policy's, by
+    aborting the youngest transaction on the cycle.
+    """
+
+    name = "polite"
+
+    #: backed-off rounds before the requester aborts the holder
+    patience: ClassVar[int] = 8
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        holder = sim.cores[holder_idx]
+        if holder.ctx is None or not holder.frames:
+            self._forget(core)
+            core.pending_op = op
+            sim._resume_retry(core, 0)
+            return
+        cycle = sim._wait_cycle(core.idx, holder_idx)
+        if cycle:
+            victim_idx = sim._youngest(cycle)
+            if victim_idx == core.idx:
+                self._forget(core)
+                core.doomed_depth = 0
+                sim._begin_abort(core)
+                return
+            sim._doom(victim_idx, 0)
+        tries = self._tries(core, holder_idx, op)
+        if tries > self.patience:
+            # patience exhausted: the holder yields (and its abort
+            # processing is waited out, as under abort_responder)
+            self._forget(core)
+            sim._doom(holder_idx, 0)
+            sim._stall_on(core, holder_idx, op)
+            return
+        base = sim.config.htm.stall_retry_period
+        period = min(base << (tries - 1), sim.config.htm.backoff_cap)
+        sim._stall_on(core, holder_idx, op, period=period)
+
+
+class GreedyResolution(ConflictResolution):
+    """The Greedy contention manager: seniority wins, waiters yield.
+
+    Guerraoui/Herlihy/Pochon's Greedy manager, the classic
+    starvation-freedom result (cf. arXiv 1904.03700's use of it for
+    multi-version STM): every transaction carries the begin timestamp
+    of its *first* attempt (kept across retries).  On a conflict the
+    requester aborts the holder if the holder is younger **or** is
+    itself waiting; otherwise the requester waits.  A transaction never
+    self-aborts on conflict, and the oldest live transaction can lose
+    to no one, so every transaction eventually becomes oldest and
+    commits — no doom loop, no livelock.
+    """
+
+    name = "greedy"
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        holder = sim.cores[holder_idx]
+        if holder.ctx is None or not holder.frames:
+            core.pending_op = op
+            sim._resume_retry(core, 0)
+            return
+        mine = (core.frames[0].timestamp, core.ctx.tid)
+        theirs = (holder.frames[0].timestamp, holder.ctx.tid)
+        # "stalled" = the holder is itself waiting on a third party
+        # (simulator status constant; literal to avoid an import cycle).
+        # A winner waiting out its victim's abort processing is *not*
+        # waiting in Greedy's sense — it already won that conflict and
+        # is about to run; treating it as abortable would let younger
+        # transactions doom the oldest one and break the
+        # starvation-freedom argument.
+        waiting = holder.status == "stalled"
+        if waiting and holder.waiting_on is not None:
+            victim = sim.cores[holder.waiting_on]
+            if victim.status == "aborting" or victim.doomed_depth is not None:
+                waiting = False
+        if theirs > mine or waiting:
+            sim._doom(holder_idx, 0)
+        sim._stall_on(core, holder_idx, op)
+
+
+class KarmaResolution(_EpisodeTracking, ConflictResolution):
+    """Accumulated-work priority with increment-on-abort.
+
+    The Karma contention manager: a transaction's priority is the work
+    it has invested — the lines in its read/write sets — plus a
+    seniority credit for every abort it has already suffered (the
+    outermost frame's attempt counter, which survives
+    ``reset_for_retry``).  Crucially, invested work is *retained across
+    aborts*: the read/write sets clear on retry, but the karma they
+    earned is banked per transaction (keyed by the outermost begin
+    timestamp, which retries keep), so a repeatedly-victimized big
+    transaction keeps outranking the small ones that doomed it.  A
+    higher-karma requester aborts the holder; a lower-karma requester
+    backs off and retries, but each retry of the same episode earns one
+    karma, so it attacks once its retries have made up the difference —
+    bounded waiting, no starvation.
+    """
+
+    name = "karma"
+
+    #: karma credited per suffered abort of the outermost frame
+    abort_credit: ClassVar[int] = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: core.idx -> ((tid, tx timestamp), banked work high-water);
+        #: the key changes when the core starts a *new* transaction,
+        #: which resets the bank — commits need no explicit hook
+        self._bank: dict[int, tuple[tuple[int, int], int]] = {}
+
+    def _karma(self, core_idx: int, tid: int,
+               frames: "list[TxFrame]") -> int:
+        work = sum(len(f.read_lines) + len(f.write_lines) for f in frames)
+        key = (tid, frames[0].timestamp)
+        prev_key, banked = self._bank.get(core_idx, (None, 0))
+        if prev_key != key:
+            banked = 0
+        banked = max(banked, work)
+        self._bank[core_idx] = (key, banked)
+        return banked + self.abort_credit * frames[0].attempt
+
+    def resolve(
+        self, sim: "Simulator", core: "_Core", holder_idx: int, op: object
+    ) -> None:
+        holder = sim.cores[holder_idx]
+        if holder.ctx is None or not holder.frames:
+            self._forget(core)
+            core.pending_op = op
+            sim._resume_retry(core, 0)
+            return
+        cycle = sim._wait_cycle(core.idx, holder_idx)
+        if cycle:
+            victim_idx = sim._youngest(cycle)
+            if victim_idx == core.idx:
+                self._forget(core)
+                core.doomed_depth = 0
+                sim._begin_abort(core)
+                return
+            sim._doom(victim_idx, 0)
+        mine = self._karma(core.idx, core.ctx.tid, core.frames)
+        theirs = self._karma(holder.idx, holder.ctx.tid, holder.frames)
+        tries = self._tries(core, holder_idx, op)
+        older = (
+            (core.frames[0].timestamp, core.ctx.tid)
+            < (holder.frames[0].timestamp, holder.ctx.tid)
+        )
+        wins = mine > theirs or (mine == theirs and older)
+        if wins or tries > max(0, theirs - mine):
+            # enough karma (or enough patient retries to cover the
+            # difference): the holder yields
+            self._forget(core)
+            sim._doom(holder_idx, 0)
+        sim._stall_on(core, holder_idx, op)
+
+
 _RESOLUTIONS: Mapping[str, type[ConflictResolution]] = {
     cls.name: cls
     for cls in (
@@ -476,17 +676,32 @@ _RESOLUTIONS: Mapping[str, type[ConflictResolution]] = {
         AbortRequesterResolution,
         AbortResponderResolution,
         TimestampResolution,
+        PoliteResolution,
+        GreedyResolution,
+        KarmaResolution,
     )
 }
 
 
 def make_resolution(name: str) -> ConflictResolution:
-    """Build a resolution policy by axis value."""
+    """Build a resolution policy by axis value.
+
+    Unknown values raise :class:`~repro.errors.UnknownSchemeError` with
+    difflib near-miss suggestions, so ``greedy``/``karma``/``polite``
+    typos (``greedey``, ``carma``, ``polit`` ...) point at the intended
+    policy instead of dumping the whole axis.
+    """
     cls = _RESOLUTIONS.get(_normalize_axis(name))
     if cls is None:
+        import difflib
+
+        suggestions = difflib.get_close_matches(
+            _normalize_axis(name), RESOLUTION_AXIS, n=3, cutoff=0.6
+        ) or RESOLUTION_AXIS
         raise UnknownSchemeError(
-            f"unknown conflict-resolution policy {name!r}",
-            name=name, suggestions=RESOLUTION_AXIS,
+            f"unknown conflict-resolution policy {name!r} "
+            f"(axis values: {', '.join(RESOLUTION_AXIS)})",
+            name=name, suggestions=suggestions,
         )
     return cls()
 

@@ -1199,7 +1199,16 @@ class Simulator:
     def _stall(self, core: _Core, holder_idx: int, op: Any) -> None:
         self._stall_on(core, holder_idx, op)
 
-    def _stall_on(self, core: _Core, holder_idx: int, op: Any) -> None:
+    def _stall_on(
+        self, core: _Core, holder_idx: int, op: Any,
+        period: int | None = None,
+    ) -> None:
+        """Stall ``core`` behind ``holder_idx`` until woken or retried.
+
+        ``period`` overrides the configured stall-retry period for this
+        episode — contention managers like ``polite`` stretch it
+        exponentially instead of hammering the holder.
+        """
         holder = self.cores[holder_idx]
         if holder.ctx is None or not holder.frames:
             # the holder finished in the meantime: retry immediately
@@ -1217,7 +1226,7 @@ class Simulator:
                 {"holder": holder_idx},
             )
         holder.waiters.add(core.idx)
-        period = self._stall_period
+        period = self._stall_period if period is None else period
         if self.faults is not None:
             period = self.faults.perturb_stall_retry(core.idx, period)
         core.retry_event = self.queue.schedule(period, core.stall_retry_cb)

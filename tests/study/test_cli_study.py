@@ -1,0 +1,111 @@
+"""``repro study`` / ``study report`` / ``study compare`` end to end.
+
+The sweeps here use narrow axis filters so each test runs a handful of
+tiny simulations, but they exercise the full path: CLI parsing → space
+expansion → runner → aggregation → artifact → re-render → compare.
+"""
+
+import json
+
+from repro.cli import main
+
+SLICE = ["--vms", "redirect", "--cds", "eager", "--resolutions",
+         "stall,greedy", "--no-cache", "--jobs", "1", "--quiet"]
+
+
+def run_study(tmp_path, name, extra=()):
+    out = tmp_path / name
+    rc = main(["study", "--workloads", "starve", "--seed", "1",
+               "--out", str(out), "--date", "t", *SLICE, *extra])
+    return rc, out / "STUDY_t.json"
+
+
+def test_study_runs_and_writes_artifact(tmp_path, capsys):
+    rc, path = run_study(tmp_path, "a")
+    assert rc == 0
+    assert "Design-space study" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    assert doc["kind"] == "STUDY"
+    section = doc["per_workload"]["starve"]
+    assert len(section["ranking"]) == 2
+    assert section["pareto_front"]
+    assert not doc["failures"]
+
+
+def test_study_workloads_accepts_comma_separated(tmp_path, capsys):
+    out = tmp_path / "c"
+    rc = main(["study", "--workloads", "starve,ssca2", "--seed", "1",
+               "--out", str(out), "--date", "t", *SLICE])
+    assert rc == 0
+    capsys.readouterr()
+    doc = json.loads((out / "STUDY_t.json").read_text())
+    assert set(doc["per_workload"]) == {"starve", "ssca2"}
+
+
+def test_study_is_deterministic_across_runs(tmp_path, capsys):
+    _, a = run_study(tmp_path, "a")
+    _, b = run_study(tmp_path, "b")
+    capsys.readouterr()
+    assert main(["study", "compare", str(a), str(b)]) == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_study_compare_flags_differences(tmp_path, capsys):
+    _, a = run_study(tmp_path, "a")
+    doc = json.loads(a.read_text())
+    doc["per_workload"]["starve"]["best"] = "tampered"
+    b = tmp_path / "b.json"
+    b.write_text(json.dumps(doc))
+    capsys.readouterr()
+    assert main(["study", "compare", str(a), str(b)]) == 1
+    assert "difference" in capsys.readouterr().out
+
+
+def test_study_report_markdown_and_csv(tmp_path, capsys):
+    _, path = run_study(tmp_path, "a")
+    capsys.readouterr()
+    assert main(["study", "report", str(path)]) == 0
+    assert "Pareto front" in capsys.readouterr().out
+    assert main(["study", "report", str(path), "--csv"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("workload,rank,scheme")
+
+
+def test_study_json_flag_prints_document(tmp_path, capsys):
+    rc, _ = run_study(tmp_path, "a", extra=["--json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema_version"] == 1
+
+
+def test_study_rejects_unknown_workload(tmp_path, capsys):
+    rc = main(["study", "--workloads", "nope", "--seed", "1",
+               "--out", str(tmp_path), *SLICE])
+    assert rc == 2
+    assert "unknown workload" in capsys.readouterr().err
+
+
+def test_study_rejects_empty_space(tmp_path, capsys):
+    rc = main(["study", "--workloads", "starve", "--vms", "undo",
+               "--cds", "lazy", "--out", str(tmp_path), "--no-cache",
+               "--jobs", "1", "--quiet"])
+    assert rc == 2
+    assert "empty study space" in capsys.readouterr().err
+
+
+def test_study_cache_and_resume_wiring(tmp_path, capsys):
+    out = tmp_path / "a"
+    args = ["study", "--workloads", "starve", "--seed", "1",
+            "--out", str(out), "--date", "t",
+            "--vms", "redirect", "--cds", "eager",
+            "--resolutions", "stall",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--resume", str(tmp_path / "j.journal"),
+            "--jobs", "1", "--quiet"]
+    assert main(args) == 0
+    doc1 = json.loads((out / "STUDY_t.json").read_text())
+    assert main(args) == 0  # resumed: journal satisfied from cache
+    capsys.readouterr()
+    doc2 = json.loads((out / "STUDY_t.json").read_text())
+    assert doc2["campaign"]["resumed"] >= 1
+    assert doc1["per_workload"] == doc2["per_workload"]
