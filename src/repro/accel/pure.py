@@ -1,0 +1,95 @@
+"""The pure-Python backend: the existing substrates, re-exported.
+
+This module defines the backend interface (:class:`AccelBackend`) and
+implements it with the big-int / heap classes the simulator has always
+used, so ``resolve_backend("pure")`` is an exact identity for existing
+behaviour *and* host performance.  The vector backend mirrors every
+factory here (see :mod:`repro.accel.vector`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.config import DirectoryConfig, SignatureConfig
+from repro.mem.directory import Directory
+from repro.sim.kernel import EventQueue
+from repro.signatures.bloom import BloomSignature, CountingSummarySignature
+from repro.signatures.hashes import H3HashFamily
+
+
+class SignatureScan:
+    """Probe one pre-computed line mask against a fixed signature set.
+
+    The conflict scan's inner loop, packaged for the microbench: the
+    pure flavour tests each big-int signature in order; the vector
+    flavour transposes the set into bit planes and probes them all at
+    once.  Both return the index of the *first* matching signature
+    (or -1), so scan results — and therefore conflict attribution —
+    are backend-independent.  The signature set is fixed at
+    construction (the vector transpose is a snapshot); build a new
+    scan after mutating a probed signature.
+    """
+
+    def __init__(self, signatures: Sequence[BloomSignature]) -> None:
+        self._words = [sig._word for sig in signatures]
+
+    def first_match(self, mask: int) -> int:
+        for i, word in enumerate(self._words):
+            if word & mask == mask:
+                return i
+        return -1
+
+
+class SignatureContext:
+    """Per-simulator signature machinery for one hash-family geometry.
+
+    Owns nothing for the pure backend (signatures are standalone big
+    ints); the vector context owns the shared word-matrix pool.  The
+    simulator resolves ``mask_of`` and ``make_signature`` from here so
+    its conflict-scan call sites never branch on the backend type.
+    """
+
+    vectorized = False
+
+    def __init__(self, config: SignatureConfig) -> None:
+        self.config = config
+        self.family = H3HashFamily.shared(config.hashes, config.bits, config.seed)
+        #: line -> probe mask, in whatever representation the backend's
+        #: ``test_mask`` consumes (big int here, uint64 array for vector)
+        self.mask_of: Callable[[int], int] = self.family.mask
+        #: shared word-matrix pool; ``None`` marks the pure backend for
+        #: the simulator's scan-path selection
+        self.pool = None
+
+    def make_signature(self) -> BloomSignature:
+        cfg = self.config
+        return BloomSignature(cfg.bits, cfg.hashes, cfg.seed)
+
+    def make_scan(self, signatures: Iterable[BloomSignature]) -> SignatureScan:
+        return SignatureScan(list(signatures))
+
+
+class AccelBackend:
+    """Factory surface every accel backend implements (and the pure one)."""
+
+    name = "pure"
+    vectorized = False
+
+    def make_event_queue(self) -> EventQueue:
+        return EventQueue()
+
+    def make_signature_context(self, config: SignatureConfig) -> SignatureContext:
+        return SignatureContext(config)
+
+    def make_counting_summary(
+        self, bits: int, hashes: int, seed: int = 0x5BB
+    ) -> CountingSummarySignature:
+        return CountingSummarySignature(bits, hashes, seed)
+
+    def make_directory(self, config: DirectoryConfig, n_cores: int) -> Directory:
+        return Directory(config, n_cores)
+
+
+class PureBackend(AccelBackend):
+    """The default backend: exactly the classes the simulator always used."""

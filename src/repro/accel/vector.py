@@ -1,0 +1,644 @@
+"""The vector backend: word-array kernels for the profiled hot substrates.
+
+Four substrates, each a drop-in for its pure sibling with **bit-identical
+simulated behaviour** (the parity proofs live next to each class):
+
+* :class:`VectorEventQueue` — a calendar queue (per-timestamp deque
+  buckets plus a heap of distinct timestamps) with an allocation-free
+  ``schedule_fast`` path.  Within a bucket, append order *is* global
+  schedule order, so delivery order equals the pure heap's strict
+  ``(time, seq)`` order.
+* :class:`SignaturePool` / :class:`VectorBloomSignature` — read/write
+  signatures as rows of one shared uint64 matrix, probed either singly
+  (``test_mask``) or all at once (:meth:`SignaturePool.first_match`,
+  the batched conflict scan).
+* :class:`VectorCountingSummarySignature` — the Figure 5 Bloom counter
+  with whole-array add/remove and a fully vectorized rebuild over the
+  live redirect entries.
+* :class:`VectorDirectory` — sharer sets as per-line int bitmasks
+  (constant-word set algebra; the pure class allocates a Python set
+  per line).
+
+Everything here assumes a little-endian host (uint64 views of packed
+bit streams); :func:`repro.accel.vector_unavailable_reason` gates on
+that before this module is imported.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.config import DirectoryConfig, SignatureConfig
+from repro.errors import BudgetExhausted
+from repro.accel.pure import AccelBackend
+from repro.sim.kernel import _PENDING, _DONE, Event
+from repro.signatures.hashes import H3HashFamily
+
+#: compact calendar buckets once this many cancelled events accumulate
+#: *and* they outnumber the live ones (same policy as the pure heap)
+_COMPACT_MIN = 64
+
+
+class VectorEventQueue:
+    """Deterministic calendar queue, API-compatible with ``EventQueue``.
+
+    Events live in per-timestamp deques; a separate heap orders the
+    *distinct* timestamps.  Draining a bucket front to back delivers
+    events in append order, and appends happen in global ``schedule``
+    call order, so the executed order is identical to the pure queue's
+    ``(time, seq)`` heap — including zero-delay events, which land at
+    the back of the bucket currently being drained.
+
+    ``schedule_fast`` appends the bare callable (no :class:`Event`
+    allocation, no handle); ``schedule`` still returns a cancellable
+    :class:`Event` whose ``cancel`` marks it dead for the drain to skip.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, deque] = {}
+        self._times: list[int] = []  # heap of distinct bucket timestamps
+        self._seq = 0
+        self._live = 0
+        self._dead = 0
+        self.now = 0
+        self.peak_queue = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def _bucket(self, when: int) -> deque:
+        bucket = self._buckets.get(when)
+        if bucket is None:
+            bucket = self._buckets[when] = deque()
+            heappush(self._times, when)
+        return bucket
+
+    def schedule(self, delay: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` in ``delay`` cycles; returns a cancellable handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event.__new__(Event)
+        ev.fn = fn
+        ev._state = _PENDING
+        ev._queue = self
+        ev.seq = seq
+        ev.time = when = self.now + int(delay)
+        self._bucket(when).append(ev)
+        live = self._live + 1
+        self._live = live
+        if live > self.peak_queue:
+            self.peak_queue = live
+        return ev
+
+    def schedule_fast(self, delay: int, fn: Callable[[], None]) -> None:
+        """Fire-and-forget :meth:`schedule`: no Event, no handle."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._bucket(self.now + int(delay)).append(fn)
+        live = self._live + 1
+        self._live = live
+        if live > self.peak_queue:
+            self.peak_queue = live
+
+    def at(self, time: int, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute timestamp ``time >= now``."""
+        return self.schedule(time - self.now, fn)
+
+    # ------------------------------------------------------------------
+    def _maybe_compact(self) -> None:
+        """Rewrite buckets dominated by cancelled events (cancel() hook).
+
+        The bucket for the *current* timestamp is skipped: ``run`` may
+        hold an alias of it mid-drain, and its dead entries are swept by
+        the drain itself anyway.
+        """
+        if self._dead < _COMPACT_MIN or self._dead <= self._live:
+            return
+        now = self.now
+        removed = 0
+        for when, bucket in self._buckets.items():
+            if when == now:
+                continue
+            kept = deque(
+                item for item in bucket
+                if item.__class__ is not Event or item._state == _PENDING
+            )
+            removed += len(bucket) - len(kept)
+            # empty buckets keep their dict slot and heap entry; run()
+            # discards both when the timestamp is reached
+            self._buckets[when] = kept
+        self._dead -= removed
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the next live event; returns False when the queue is empty."""
+        buckets = self._buckets
+        times = self._times
+        while times:
+            when = times[0]
+            bucket = buckets[when]
+            while bucket:
+                item = bucket.popleft()
+                if item.__class__ is Event:
+                    if item._state != _PENDING:
+                        self._dead -= 1
+                        continue
+                    item._state = _DONE
+                    fn = item.fn
+                else:
+                    fn = item
+                self._live -= 1
+                self.now = when
+                fn()
+                return True
+            del buckets[when]
+            heappop(times)
+        return False
+
+    def run(self, max_events: int | None = None, max_time: int | None = None) -> int:
+        """Drain the queue; returns the number of events executed.
+
+        Matches the pure queue's budget semantics exactly: an exhausted
+        budget raises only when a *live* next event exists, and the
+        reported cycle is the last executed event's timestamp.
+        """
+        executed = 0
+        budget = -1 if max_events is None else max_events
+        buckets = self._buckets
+        times = self._times
+        while self._live:
+            when = times[0]
+            bucket = buckets[when]
+            if max_time is not None and when > max_time:
+                live_ahead = any(
+                    item.__class__ is not Event or item._state == _PENDING
+                    for item in bucket
+                )
+                if not live_ahead:
+                    self._dead -= len(bucket)
+                    del buckets[when]
+                    heappop(times)
+                    continue
+                raise BudgetExhausted(
+                    f"time budget exhausted (t={when} > {max_time})",
+                    cycle=self.now, events=executed,
+                )
+            while bucket:
+                item = bucket.popleft()
+                if item.__class__ is Event:
+                    if item._state != _PENDING:
+                        self._dead -= 1
+                        continue
+                    if executed == budget:
+                        bucket.appendleft(item)
+                        raise BudgetExhausted(
+                            f"event budget exhausted ({max_events} events)",
+                            cycle=self.now, events=executed,
+                        )
+                    item._state = _DONE
+                    fn = item.fn
+                else:
+                    if executed == budget:
+                        bucket.appendleft(item)
+                        raise BudgetExhausted(
+                            f"event budget exhausted ({max_events} events)",
+                            cycle=self.now, events=executed,
+                        )
+                    fn = item
+                self._live -= 1
+                self.now = when
+                fn()
+                executed += 1
+            del buckets[when]
+            heappop(times)
+        return executed
+
+
+class SignaturePool:
+    """One shared (rows × words) uint64 matrix holding every signature.
+
+    Rows are handed out LIFO from a free list and zeroed on release, so
+    a fresh signature always starts empty.  Row indices carry no
+    semantic meaning — the conflict scan orders its probes by core and
+    frame, never by row — so recycling order cannot affect simulated
+    results.
+    """
+
+    def __init__(self, words: int, capacity: int = 64) -> None:
+        self.words = words
+        self.arr = np.zeros((capacity, words), dtype=np.uint64)
+        self._free = list(range(capacity - 1, -1, -1))
+
+    def alloc(self) -> int:
+        free = self._free
+        if not free:
+            old = self.arr
+            cap = old.shape[0]
+            grown = np.zeros((cap * 2, self.words), dtype=np.uint64)
+            grown[:cap] = old
+            self.arr = grown
+            free.extend(range(cap * 2 - 1, cap - 1, -1))
+        return free.pop()
+
+    def release(self, row: int) -> None:
+        self.arr[row] = 0
+        self._free.append(row)
+
+    def first_match(self, rows: Sequence[int], mask: np.ndarray) -> int:
+        """Index into ``rows`` of the first signature containing ``mask``.
+
+        The batched conflict scan: one fancy-index gather plus one
+        compare over every probed signature, replacing the per-core
+        Python loop.  Returns -1 when no row matches.
+        """
+        sub = self.arr[rows]
+        ok = ((sub & mask) == mask).all(axis=1)
+        i = int(ok.argmax())
+        return i if ok[i] else -1
+
+
+class VectorBloomSignature:
+    """A Bloom signature stored as one row of a :class:`SignaturePool`.
+
+    Same bits as :class:`~repro.signatures.bloom.BloomSignature` for the
+    same insertions: both go through the shared H3 family, and the word
+    array is just the big int split at 64-bit boundaries (little-endian
+    word order, see ``H3HashFamily.mask_words``).
+    """
+
+    __slots__ = ("bits", "hashes", "_hash", "_pool", "_row", "_count")
+
+    def __init__(self, pool: SignaturePool, bits: int, hashes: int,
+                 seed: int = 0xB100) -> None:
+        self.bits = bits
+        self.hashes = hashes
+        self._hash = H3HashFamily.shared(hashes, bits, seed)
+        self._pool = pool
+        self._row = pool.alloc()
+        self._count = 0
+
+    def __del__(self) -> None:
+        # recycle the pool row when the owning frame is released; row
+        # identity is semantically inert (see SignaturePool), so GC
+        # timing cannot perturb simulated results
+        try:
+            self._pool.release(self._row)
+        except Exception:  # pragma: no cover — interpreter shutdown
+            pass
+
+    def add(self, value: int) -> None:
+        row = self._pool.arr[self._row]
+        row |= self._hash.mask_words(value)
+        self._count += 1
+
+    def test(self, value: int) -> bool:
+        mask = self._hash.mask_words(value)
+        row = self._pool.arr[self._row]
+        return bool(((row & mask) == mask).all())
+
+    def test_mask(self, mask: np.ndarray) -> bool:
+        row = self._pool.arr[self._row]
+        return bool(((row & mask) == mask).all())
+
+    def line_mask(self, value: int) -> np.ndarray:
+        return self._hash.mask_words(value)
+
+    @property
+    def family(self) -> H3HashFamily:
+        return self._hash
+
+    def clear(self) -> None:
+        self._pool.arr[self._row] = 0
+        self._count = 0
+
+    def union_inplace(self, other: "VectorBloomSignature") -> None:
+        if other.bits != self.bits:
+            raise ValueError("signature sizes differ")
+        arr = self._pool.arr
+        mine = arr[self._row]
+        merged = mine | arr[other._row]
+        if (merged != mine).any():
+            self._count += other._count
+        arr[self._row] = merged
+
+    def intersects(self, other: "VectorBloomSignature") -> bool:
+        arr = self._pool.arr
+        return bool((arr[self._row] & arr[other._row]).any())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._pool.arr[self._row].any()
+
+    @property
+    def popcount(self) -> int:
+        return int(np.bitwise_count(self._pool.arr[self._row]).sum())
+
+    @property
+    def added(self) -> int:
+        return self._count
+
+    def false_positive_rate(self) -> float:
+        fill = self.popcount / self.bits
+        return fill ** self.hashes
+
+
+class VectorSignatureScan:
+    """Bit-sliced :class:`~repro.accel.pure.SignatureScan` twin.
+
+    Construction *transposes* the probed signatures into one bit-plane
+    per Bloom bit: plane ``b`` is an n-bit integer whose bit ``j`` says
+    signature ``j`` has Bloom bit ``b`` set.  A probe then ANDs the
+    planes of the mask's set bits — at most ``hashes`` of them — and
+    the lowest set bit of the product names the first signature (in
+    construction order) containing the whole mask, exactly what the
+    pure per-signature loop returns.  This is the classic bit-sliced
+    signature-file layout: probe cost is O(k) word ops instead of
+    O(n · words), at the price of a transpose paid once per scan — so,
+    like the pure class, the signature set is fixed at construction.
+    """
+
+    def __init__(self, pool: SignaturePool,
+                 signatures: Sequence[VectorBloomSignature]) -> None:
+        self._signatures = list(signatures)  # keep rows alive
+        n = len(self._signatures)
+        self._all = (1 << n) - 1
+        if n:
+            rows = np.array([sig._row for sig in self._signatures],
+                            dtype=np.intp)
+            sub = pool.arr[rows]
+            # (n, bits) bit matrix -> (bits, ceil(n/8)) packed planes;
+            # both views are little-endian, the layout the backend gates on
+            bits = np.unpackbits(sub.view(np.uint8), axis=1,
+                                 bitorder="little")
+            packed = np.packbits(bits.T, axis=1, bitorder="little")
+            stride = packed.shape[1]
+            data = packed.tobytes()
+            self._planes = [
+                int.from_bytes(data[i * stride:(i + 1) * stride], "little")
+                for i in range(packed.shape[0])
+            ]
+        else:
+            self._planes = []
+
+    def first_match(self, mask: np.ndarray) -> int:
+        hit = self._all
+        if not hit:
+            return -1
+        planes = self._planes
+        for w in np.flatnonzero(mask):
+            word = int(mask[w])
+            base = int(w) << 6
+            while word:
+                low = word & -word
+                hit &= planes[base + low.bit_length() - 1]
+                if not hit:
+                    return -1
+                word ^= low
+        return (hit & -hit).bit_length() - 1
+
+
+class VectorSignatureContext:
+    """Vector sibling of :class:`repro.accel.pure.SignatureContext`."""
+
+    vectorized = True
+
+    def __init__(self, config: SignatureConfig) -> None:
+        self.config = config
+        self.family = H3HashFamily.shared(config.hashes, config.bits, config.seed)
+        self.mask_of: Callable[[int], np.ndarray] = self.family.mask_words
+        self.pool = SignaturePool(self.family.words)
+
+    def make_signature(self) -> VectorBloomSignature:
+        cfg = self.config
+        return VectorBloomSignature(self.pool, cfg.bits, cfg.hashes, cfg.seed)
+
+    def make_scan(
+        self, signatures: Iterable[VectorBloomSignature]
+    ) -> VectorSignatureScan:
+        return VectorSignatureScan(self.pool, list(signatures))
+
+
+class VectorCountingSummarySignature:
+    """Word-array Figure 5 Bloom counter, bit-identical to the pure one.
+
+    The pure class walks the k hash indexes *sequentially*, which
+    matters when two hashes collide on one bit for the same address: the
+    second visit clears the ``once`` mark the first visit just set.  The
+    whole-array ops below reproduce that exactly by splitting each
+    address's mask into uniquely-hit bits ``u`` (from
+    ``H3HashFamily.unique_mask_words``) and the rest:
+
+    * **add** — a doubly-hit bit ends with ``sig=1, once=0`` whatever
+      the prior state; a uniquely-hit bit sets ``once`` iff ``sig`` was
+      clear, else clears it.  Hence ``once = (once & ~((u & sig) |
+      (m & ~u))) | (u & ~sig)`` then ``sig |= m``.
+    * **remove** — the pure loop clears exactly the bits of ``m`` still
+      marked ``once`` (a doubly-hit bit is never marked): ``rm = once &
+      m``.
+    * **rebuild** — re-insertion from empty is order-independent; bit b
+      ends ``once=1`` iff exactly one inserted address hits it *and*
+      hits it uniquely, i.e. ``(per-bit insert count == 1) & OR(u_i)``.
+    """
+
+    __slots__ = ("bits", "hashes", "_hash", "_sig", "_once",
+                 "adds", "removes")
+
+    def __init__(self, bits: int, hashes: int, seed: int = 0x5BB) -> None:
+        self.bits = bits
+        self.hashes = hashes
+        self._hash = H3HashFamily.shared(hashes, bits, seed)
+        words = self._hash.words
+        self._sig = np.zeros(words, dtype=np.uint64)
+        self._once = np.zeros(words, dtype=np.uint64)
+        self.adds = 0
+        self.removes = 0
+
+    def add(self, value: int) -> None:
+        self.adds += 1
+        m = self._hash.mask_words(value)
+        u = self._hash.unique_mask_words(value)
+        sig = self._sig
+        once = self._once
+        fresh_unique = u & ~sig
+        once &= ~((u & sig) | (m & ~u))
+        once |= fresh_unique
+        sig |= m
+
+    def test(self, value: int) -> bool:
+        mask = self._hash.mask_words(value)
+        return bool(((self._sig & mask) == mask).all())
+
+    def remove(self, value: int) -> None:
+        """Conservatively remove ``value`` (clears only its unique bits)."""
+        self.removes += 1
+        rm = self._once & self._hash.mask_words(value)
+        self._sig &= ~rm
+        self._once &= ~rm
+
+    def clear(self) -> None:
+        self._sig[:] = 0
+        self._once[:] = 0
+
+    def rebuild(self, values) -> None:
+        """Vectorized clear-and-reinsert (the periodic software rebuild)."""
+        vals = list(values)
+        self.adds += len(vals)  # mirrors the pure rebuild's add() calls
+        if not vals:
+            self.clear()
+            return
+        family = self._hash
+        masks = np.stack([family.mask_words(v) for v in vals])
+        uniques = np.stack([family.unique_mask_words(v) for v in vals])
+        self._sig = np.bitwise_or.reduce(masks, axis=0)
+        # per-bit insertion counts via the packed byte stream (the
+        # uint64<->uint8 views agree because the host is little-endian,
+        # gated in repro.accel.vector_unavailable_reason)
+        bits = np.unpackbits(masks.view(np.uint8), axis=1, bitorder="little")
+        once_bits = (bits.sum(axis=0, dtype=np.int64) == 1).astype(np.uint8)
+        once = np.packbits(once_bits, bitorder="little").view(np.uint64)
+        self._once = once & np.bitwise_or.reduce(uniques, axis=0)
+
+    @property
+    def popcount(self) -> int:
+        return int(np.bitwise_count(self._sig).sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._sig.any()
+
+
+class _VectorDirEntry:
+    """Directory state for one line: owner + sharer bitmask."""
+
+    __slots__ = ("owner", "sharer_bits")
+
+    def __init__(self) -> None:
+        self.owner: int | None = None
+        self.sharer_bits = 0
+
+    @property
+    def is_idle(self) -> bool:
+        return self.owner is None and not self.sharer_bits
+
+    @property
+    def sharers(self) -> set[int]:
+        """Sharer set view (API parity with the pure ``DirEntry``)."""
+        return _bits_to_set(self.sharer_bits)
+
+
+def _bits_to_set(bits: int) -> set[int]:
+    out = set()
+    while bits:
+        low = bits & -bits
+        out.add(low.bit_length() - 1)
+        bits ^= low
+    return out
+
+
+class VectorDirectory:
+    """Sharer directory with int-bitmask sharer sets.
+
+    Set algebra on an int bitmask is one ALU op regardless of sharer
+    count, where the pure class pays per-element set operations — the
+    difference that matters at the 64–256-core meshes the ROADMAP
+    targets.  ``holders`` materializes an ordinary ``set`` (ascending
+    core order) for its order-insensitive consumers in
+    ``mem/hierarchy.py``.
+    """
+
+    def __init__(self, config: DirectoryConfig, n_cores: int) -> None:
+        self.config = config
+        self.n_cores = n_cores
+        self._entries: dict[int, _VectorDirEntry] = {}
+        self.lookups = 0
+
+    @property
+    def latency(self) -> int:
+        return self.config.latency
+
+    def entry(self, line: int) -> _VectorDirEntry:
+        self.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = _VectorDirEntry()
+            self._entries[line] = e
+        return e
+
+    def record_shared(self, line: int, core: int) -> None:
+        self.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = _VectorDirEntry()
+        owner = e.owner
+        if owner is not None and owner != core:
+            e.sharer_bits |= 1 << owner
+            e.owner = None
+        e.sharer_bits |= 1 << core
+        if e.owner == core:
+            e.owner = None
+
+    def record_owner(self, line: int, core: int) -> None:
+        self.lookups += 1
+        e = self._entries.get(line)
+        if e is None:
+            e = self._entries[line] = _VectorDirEntry()
+        e.owner = core
+        e.sharer_bits = 0
+
+    def drop(self, line: int, core: int) -> None:
+        """Core silently dropped / evicted its copy."""
+        e = self._entries.get(line)
+        if e is None:
+            return
+        if e.owner == core:
+            e.owner = None
+        e.sharer_bits &= ~(1 << core)
+        if e.owner is None and not e.sharer_bits:
+            del self._entries[line]
+
+    def holders(self, line: int) -> set[int]:
+        """Every core that may hold a valid copy."""
+        e = self._entries.get(line)
+        if e is None:
+            return set()
+        out = _bits_to_set(e.sharer_bits)
+        if e.owner is not None:
+            out.add(e.owner)
+        return out
+
+    def owner_of(self, line: int) -> int | None:
+        e = self._entries.get(line)
+        return e.owner if e is not None else None
+
+    @property
+    def tracked_lines(self) -> int:
+        return len(self._entries)
+
+
+class VectorBackend(AccelBackend):
+    """numpy word-array backend for the profiled hot substrates."""
+
+    name = "vector"
+    vectorized = True
+
+    def make_event_queue(self) -> VectorEventQueue:
+        return VectorEventQueue()
+
+    def make_signature_context(
+        self, config: SignatureConfig
+    ) -> VectorSignatureContext:
+        return VectorSignatureContext(config)
+
+    def make_counting_summary(
+        self, bits: int, hashes: int, seed: int = 0x5BB
+    ) -> VectorCountingSummarySignature:
+        return VectorCountingSummarySignature(bits, hashes, seed)
+
+    def make_directory(self, config: DirectoryConfig, n_cores: int) -> VectorDirectory:
+        return VectorDirectory(config, n_cores)

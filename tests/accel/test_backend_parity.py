@@ -1,0 +1,85 @@
+"""End-to-end cross-backend parity: the determinism contract, enforced.
+
+Every canonical scheme (plus the composed-policy and mvsuv ones in
+``available_schemes()``) must produce **byte-identical** result JSON
+under the pure and vector backends, per seed.  This is the gate that
+lets the backend stay out of :class:`~repro.runner.ExperimentSpec`
+identity: cached results are valid whichever backend computed them.
+"""
+
+import pytest
+
+from repro.accel import ACCEL_ENV
+from repro.htm.vm.base import available_schemes
+from repro.runner import ExperimentSpec, execute_spec
+
+#: one small pin per seed; tiny scale keeps the cross product tier-1-fast
+SEEDS = (1, 2, 3)
+
+
+def _result_json(scheme: str, seed: int, accel: str) -> str:
+    spec = ExperimentSpec(
+        workload="ssca2",
+        scheme=scheme,
+        scale="tiny",
+        seed=seed,
+        cores=4,
+        config_overrides={"htm.accel": accel},
+    )
+    return execute_spec(spec).to_json()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("scheme", available_schemes())
+def test_backends_produce_byte_identical_results(scheme, seed):
+    pure = _result_json(scheme, seed, "pure")
+    vector = _result_json(scheme, seed, "vector")
+    assert pure == vector, (
+        f"{scheme} seed={seed}: vector backend diverged from pure — "
+        "the accel determinism contract is broken"
+    )
+
+
+def test_env_selection_is_equivalent_to_config(monkeypatch):
+    spec = ExperimentSpec(workload="synthetic", scheme="suv",
+                          scale="tiny", seed=7, cores=4)
+    monkeypatch.setenv(ACCEL_ENV, "pure")
+    pure = execute_spec(spec).to_json()
+    monkeypatch.setenv(ACCEL_ENV, "vector")
+    vector = execute_spec(spec).to_json()
+    assert pure == vector
+
+
+def test_multithreaded_parity():
+    """Context multiplexing exercises the suspended-frame scan path."""
+    for scheme in ("suv", "lazy"):
+        results = set()
+        for accel in ("pure", "vector"):
+            spec = ExperimentSpec(
+                workload="synthetic",
+                scheme=scheme,
+                scale="tiny",
+                seed=5,
+                cores=2,
+                threads=4,
+                config_overrides={"htm.accel": accel},
+            )
+            results.add(execute_spec(spec).to_json())
+        assert len(results) == 1, f"{scheme}: multiplexed runs diverged"
+
+
+def test_faulted_parity():
+    """Fault campaigns schedule through the cancellable path."""
+    results = set()
+    for accel in ("pure", "vector"):
+        spec = ExperimentSpec(
+            workload="synthetic",
+            scheme="suv",
+            scale="tiny",
+            seed=11,
+            cores=4,
+            fault_plan="sig-storm",
+            config_overrides={"htm.accel": accel},
+        )
+        results.add(execute_spec(spec).to_json())
+    assert len(results) == 1

@@ -1,0 +1,174 @@
+"""Calendar-queue parity: delivery order, cancel, budgets, schedule_fast.
+
+The vector backend's :class:`~repro.accel.vector.VectorEventQueue` must
+execute every schedule in exactly the pure heap's ``(time, seq)`` order
+— including zero-delay events scheduled mid-drain and cancellations —
+and replicate the pure queue's budget semantics (what raises, the
+reported cycle, whether the queue is resumable afterwards).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import resolve_backend
+from repro.errors import BudgetExhausted
+from repro.sim.kernel import EventQueue
+
+PURE = resolve_backend("pure")
+VECTOR = resolve_backend("vector")
+
+
+def _both():
+    return PURE.make_event_queue(), VECTOR.make_event_queue()
+
+
+def test_pure_backend_returns_kernel_queue():
+    assert isinstance(PURE.make_event_queue(), EventQueue)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=12),
+                min_size=1, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_delivery_order_matches_pure(delays):
+    orders = []
+    for queue in _both():
+        log = []
+        for i, delay in enumerate(delays):
+            queue.schedule(delay, lambda i=i: log.append((queue.now, i)))
+        queue.run()
+        orders.append(log)
+    assert orders[0] == orders[1]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=6),
+                min_size=1, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_schedule_fast_order_matches_schedule(delays):
+    orders = []
+    for queue in _both():
+        log = []
+        for i, delay in enumerate(delays):
+            if i % 2:
+                queue.schedule_fast(delay, lambda i=i: log.append((queue.now, i)))
+            else:
+                queue.schedule(delay, lambda i=i: log.append((queue.now, i)))
+        queue.run()
+        orders.append(log)
+    assert orders[0] == orders[1]
+
+
+def test_zero_delay_mid_drain_runs_same_cycle():
+    for queue in _both():
+        log = []
+
+        def chain(n):
+            log.append((queue.now, n))
+            if n < 3:
+                queue.schedule_fast(0, lambda: chain(n + 1))
+
+        queue.schedule(5, lambda: chain(0))
+        queue.schedule(6, lambda: log.append((queue.now, "later")))
+        queue.run()
+        assert log == [(5, 0), (5, 1), (5, 2), (5, 3), (6, "later")]
+
+
+def test_cancelled_events_are_skipped_identically():
+    for queue in _both():
+        log = []
+        keep = queue.schedule(3, lambda: log.append("keep"))
+        kill = queue.schedule(3, lambda: log.append("kill"))
+        queue.schedule(4, lambda: log.append("tail"))
+        kill.cancel()
+        assert len(queue) == 2
+        queue.run()
+        assert log == ["keep", "tail"]
+        assert not keep.cancelled
+
+
+def test_event_budget_semantics_match():
+    outcomes = []
+    for queue in _both():
+        log = []
+        for i in range(6):
+            queue.schedule(i, lambda i=i: log.append(i))
+        with pytest.raises(BudgetExhausted) as exc_info:
+            queue.run(max_events=3)
+        # resumable: the unexecuted tail must still be intact
+        remaining = queue.run()
+        outcomes.append((log, exc_info.value.cycle,
+                         exc_info.value.context.get("events"), remaining))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] == [0, 1, 2, 3, 4, 5]
+
+
+def test_time_budget_semantics_match():
+    outcomes = []
+    for queue in _both():
+        log = []
+        queue.schedule(1, lambda: log.append(1))
+        queue.schedule(9, lambda: log.append(9))
+        with pytest.raises(BudgetExhausted) as exc_info:
+            queue.run(max_time=5)
+        outcomes.append((log, exc_info.value.cycle, str(exc_info.value)))
+    assert outcomes[0] == outcomes[1]
+
+
+def test_time_budget_skips_dead_only_buckets():
+    for queue in _both():
+        log = []
+        queue.schedule(1, lambda: log.append(1))
+        doomed = queue.schedule(9, lambda: log.append(9))
+        doomed.cancel()
+        assert queue.run(max_time=5) == 1  # no raise: nothing live past 5
+        assert log == [1]
+
+
+def test_now_and_len_track_pure():
+    for queue in _both():
+        queue.schedule(4, lambda: None)
+        queue.schedule(7, lambda: None)
+        assert len(queue) == 2
+        queue.step()
+        assert (queue.now, len(queue)) == (4, 1)
+        queue.step()
+        assert (queue.now, len(queue)) == (7, 0)
+
+
+def test_at_schedules_absolute_time():
+    for queue in _both():
+        log = []
+        queue.schedule(3, lambda: queue.at(10, lambda: log.append(queue.now)))
+        queue.run()
+        assert log == [10]
+
+
+def test_negative_delay_rejected():
+    for queue in _both():
+        with pytest.raises(ValueError):
+            queue.schedule(-1, lambda: None)
+        with pytest.raises(ValueError):
+            queue.schedule_fast(-1, lambda: None)
+
+
+def test_vector_compaction_drops_dead_events():
+    queue = VECTOR.make_event_queue()
+    ran = []
+    for i in range(10):
+        queue.schedule(5, lambda i=i: ran.append(i))
+    dead = [queue.schedule(6, lambda: ran.append(-1)) for _ in range(200)]
+    for ev in dead:
+        ev.cancel()
+    assert len(queue) == 10
+    total_queued = sum(len(b) for b in queue._buckets.values())
+    assert total_queued < 220  # compaction rewrote the dominated bucket
+    assert queue.run() == 10
+    assert ran == list(range(10))
+
+
+def test_peak_queue_tracks_live_events():
+    for queue in _both():
+        for _ in range(5):
+            queue.schedule(1, lambda: None)
+        queue.run()
+        assert queue.peak_queue == 5

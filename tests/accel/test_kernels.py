@@ -1,0 +1,276 @@
+"""Hypothesis parity properties: vector kernels vs the big-int reference.
+
+Every vector substrate must be *bit-identical* to its pure sibling for
+the same operation sequence.  These properties drive random op streams
+through both implementations side by side and compare full filter
+state, not just query answers — the strongest form of the determinism
+contract the backends promise.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import resolve_backend
+from repro.config import DirectoryConfig, SignatureConfig
+from repro.signatures.bloom import BloomSignature, CountingSummarySignature
+from repro.signatures.hashes import H3HashFamily
+
+PURE = resolve_backend("pure")
+VECTOR = resolve_backend("vector")
+
+lines = st.integers(min_value=0, max_value=(1 << 28) - 1)
+
+
+def _as_int(arr: np.ndarray) -> int:
+    """The big-int value of a little-endian uint64 word array."""
+    return int.from_bytes(arr.tobytes(), "little")
+
+
+# ---------------------------------------------------------------------------
+# word-array layout
+# ---------------------------------------------------------------------------
+@given(st.lists(lines, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_mask_words_match_big_int_masks(values):
+    family = H3HashFamily.shared(4, 2048, seed=0xB100)
+    for value in values:
+        assert _as_int(family.mask_words(value)) == family.mask(value)
+        assert _as_int(family.unique_mask_words(value)) == family.unique_mask(value)
+
+
+def test_unique_mask_drops_colliding_indexes():
+    family = H3HashFamily.shared(2, 64, seed=7)
+    for value in range(4096):
+        idx = family.indexes(value)
+        unique = family.unique_mask(value)
+        if len(set(idx)) < len(idx):
+            assert unique == 0  # both hashes hit the same bit
+        else:
+            assert unique == family.mask(value)
+
+
+# ---------------------------------------------------------------------------
+# Bloom signatures
+# ---------------------------------------------------------------------------
+@given(st.lists(st.tuples(st.sampled_from(["add", "test", "clear"]), lines),
+                max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_vector_bloom_matches_pure_bloom(ops):
+    cfg = SignatureConfig()
+    pure_sig = BloomSignature(cfg.bits, cfg.hashes, cfg.seed)
+    ctx = VECTOR.make_signature_context(cfg)
+    vec_sig = ctx.make_signature()
+    for op, value in ops:
+        if op == "add":
+            pure_sig.add(value)
+            vec_sig.add(value)
+        elif op == "clear":
+            pure_sig.clear()
+            vec_sig.clear()
+        else:
+            assert pure_sig.test(value) == vec_sig.test(value)
+        assert _as_int(ctx.pool.arr[vec_sig._row]) == pure_sig._word
+        assert vec_sig.popcount == pure_sig.popcount
+        assert vec_sig.is_empty == pure_sig.is_empty
+        assert vec_sig.added == pure_sig.added
+
+
+@given(st.lists(lines, max_size=30), st.lists(lines, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_vector_union_matches_pure_union(left, right):
+    cfg = SignatureConfig()
+    ctx = VECTOR.make_signature_context(cfg)
+    pure_a = BloomSignature(cfg.bits, cfg.hashes, cfg.seed)
+    pure_b = BloomSignature(cfg.bits, cfg.hashes, cfg.seed)
+    vec_a, vec_b = ctx.make_signature(), ctx.make_signature()
+    for value in left:
+        pure_a.add(value)
+        vec_a.add(value)
+    for value in right:
+        pure_b.add(value)
+        vec_b.add(value)
+    pure_a.union_inplace(pure_b)
+    vec_a.union_inplace(vec_b)
+    assert _as_int(ctx.pool.arr[vec_a._row]) == pure_a._word
+    assert vec_a.added == pure_a.added
+    assert pure_a.intersects(pure_b) == vec_a.intersects(vec_b)
+
+
+def test_pool_rows_are_recycled_zeroed():
+    ctx = VECTOR.make_signature_context(SignatureConfig())
+    sig = ctx.make_signature()
+    row = sig._row
+    sig.add(1234)
+    del sig
+    fresh = ctx.make_signature()
+    assert fresh._row == row  # LIFO free list hands the row back
+    assert fresh.is_empty
+
+
+def test_pool_growth_preserves_contents():
+    ctx = VECTOR.make_signature_context(SignatureConfig())
+    sigs = [ctx.make_signature() for _ in range(100)]  # forces growth
+    for i, sig in enumerate(sigs):
+        sig.add(i)
+    for i, sig in enumerate(sigs):
+        assert sig.test(i)
+
+
+# ---------------------------------------------------------------------------
+# batched scan
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(st.lists(lines, max_size=20), min_size=0, max_size=24),
+    st.lists(lines, min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_scan_first_match_is_backend_independent(sig_contents, probes):
+    cfg = SignatureConfig()
+    pure_ctx = PURE.make_signature_context(cfg)
+    vec_ctx = VECTOR.make_signature_context(cfg)
+    pure_sigs, vec_sigs = [], []
+    for contents in sig_contents:
+        ps, vs = pure_ctx.make_signature(), vec_ctx.make_signature()
+        for value in contents:
+            ps.add(value)
+            vs.add(value)
+        pure_sigs.append(ps)
+        vec_sigs.append(vs)
+    pure_scan = pure_ctx.make_scan(pure_sigs)
+    vec_scan = vec_ctx.make_scan(vec_sigs)
+    for probe in probes:
+        assert (pure_scan.first_match(pure_ctx.mask_of(probe))
+                == vec_scan.first_match(vec_ctx.mask_of(probe)))
+
+
+def test_scan_returns_first_index_for_duplicate_hits():
+    cfg = SignatureConfig()
+    for backend in (PURE, VECTOR):
+        ctx = backend.make_signature_context(cfg)
+        sigs = [ctx.make_signature() for _ in range(4)]
+        sigs[1].add(77)
+        sigs[3].add(77)
+        scan = ctx.make_scan(sigs)
+        assert scan.first_match(ctx.mask_of(77)) == 1
+
+
+def test_pool_first_match_matches_pure_loop():
+    cfg = SignatureConfig()
+    ctx = VECTOR.make_signature_context(cfg)
+    sigs = [ctx.make_signature() for _ in range(8)]
+    for i, sig in enumerate(sigs):
+        sig.add(1000 + i)
+    rows = [sig._row for sig in sigs]
+    for probe in [1000, 1003, 1007, 4242]:
+        mask = ctx.mask_of(probe)
+        expect = next(
+            (i for i, sig in enumerate(sigs) if sig.test_mask(mask)), -1
+        )
+        assert ctx.pool.first_match(rows, mask) == expect
+
+
+# ---------------------------------------------------------------------------
+# counting summary (Figure 5)
+# ---------------------------------------------------------------------------
+summary_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove", "test", "clear"]), lines),
+    max_size=80,
+)
+
+
+@given(summary_ops)
+@settings(max_examples=80, deadline=None)
+def test_vector_counting_summary_matches_pure(ops):
+    pure_sum = CountingSummarySignature(2048, 2)
+    vec_sum = VECTOR.make_counting_summary(2048, 2)
+    for op, value in ops:
+        if op == "add":
+            pure_sum.add(value)
+            vec_sum.add(value)
+        elif op == "remove":
+            pure_sum.remove(value)
+            vec_sum.remove(value)
+        elif op == "clear":
+            pure_sum.clear()
+            vec_sum.clear()
+        else:
+            assert pure_sum.test(value) == vec_sum.test(value)
+        assert _as_int(vec_sum._sig) == pure_sum._sig
+        assert _as_int(vec_sum._once) == pure_sum._once
+        assert vec_sum.popcount == pure_sum.popcount
+        assert vec_sum.is_empty == pure_sum.is_empty
+    assert (vec_sum.adds, vec_sum.removes) == (pure_sum.adds, pure_sum.removes)
+
+
+@given(st.lists(lines, max_size=60))
+@settings(max_examples=80, deadline=None)
+def test_vector_rebuild_matches_sequential_reinsertion(values):
+    pure_sum = CountingSummarySignature(2048, 2)
+    vec_sum = VECTOR.make_counting_summary(2048, 2)
+    pure_sum.rebuild(values)
+    vec_sum.rebuild(values)
+    assert _as_int(vec_sum._sig) == pure_sum._sig
+    assert _as_int(vec_sum._once) == pure_sum._once
+
+
+@given(st.lists(st.integers(min_value=0, max_value=500), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_rebuild_collision_heavy_geometry(values):
+    # 64-bit / 2-hash filters collide constantly, stressing the
+    # duplicate-index and once-bit characterization of the rebuild
+    pure_sum = CountingSummarySignature(64, 2, seed=0x5BB)
+    vec_sum = VECTOR.make_counting_summary(64, 2, seed=0x5BB)
+    pure_sum.rebuild(values)
+    vec_sum.rebuild(values)
+    assert _as_int(vec_sum._sig) == pure_sum._sig
+    assert _as_int(vec_sum._once) == pure_sum._once
+
+
+# ---------------------------------------------------------------------------
+# directory
+# ---------------------------------------------------------------------------
+dir_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["shared", "owner", "drop"]),
+        st.integers(min_value=0, max_value=31),   # line
+        st.integers(min_value=0, max_value=15),   # core
+    ),
+    max_size=120,
+)
+
+
+@given(dir_ops)
+@settings(max_examples=80, deadline=None)
+def test_vector_directory_matches_pure(ops):
+    pure_dir = PURE.make_directory(DirectoryConfig(), n_cores=16)
+    vec_dir = VECTOR.make_directory(DirectoryConfig(), n_cores=16)
+    for op, line, core in ops:
+        if op == "shared":
+            pure_dir.record_shared(line, core)
+            vec_dir.record_shared(line, core)
+        elif op == "owner":
+            pure_dir.record_owner(line, core)
+            vec_dir.record_owner(line, core)
+        else:
+            pure_dir.drop(line, core)
+            vec_dir.drop(line, core)
+        assert pure_dir.holders(line) == vec_dir.holders(line)
+        assert pure_dir.owner_of(line) == vec_dir.owner_of(line)
+    assert pure_dir.tracked_lines == vec_dir.tracked_lines
+    assert pure_dir.lookups == vec_dir.lookups
+    for line in range(32):
+        assert pure_dir.holders(line) == vec_dir.holders(line)
+
+
+def test_vector_directory_entry_view():
+    vec_dir = VECTOR.make_directory(DirectoryConfig(), n_cores=8)
+    vec_dir.record_shared(5, 1)
+    vec_dir.record_shared(5, 4)
+    entry = vec_dir.entry(5)
+    assert entry.sharers == {1, 4}
+    assert not entry.is_idle
+    vec_dir.drop(5, 1)
+    vec_dir.drop(5, 4)
+    assert vec_dir.tracked_lines == 0

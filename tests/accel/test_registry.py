@@ -1,0 +1,103 @@
+"""Backend registry: selection precedence, fallback, and failure modes."""
+
+import pytest
+
+import repro.accel as accel_mod
+from repro.accel import (
+    ACCEL_ENV,
+    available_backends,
+    default_backend_name,
+    resolve_backend,
+    vector_unavailable_reason,
+)
+from repro.config import HTMConfig
+from repro.errors import AccelUnavailableError, ReproError
+
+
+def test_default_is_pure(monkeypatch):
+    monkeypatch.delenv(ACCEL_ENV, raising=False)
+    assert resolve_backend().name == "pure"
+    assert resolve_backend("").name == "pure"
+    assert default_backend_name() == "pure"
+
+
+def test_env_variable_selects_backend(monkeypatch):
+    monkeypatch.setenv(ACCEL_ENV, "vector")
+    assert resolve_backend("").name == "vector"
+    assert default_backend_name() == "vector"
+
+
+def test_explicit_name_beats_env(monkeypatch):
+    monkeypatch.setenv(ACCEL_ENV, "vector")
+    assert resolve_backend("pure").name == "pure"
+
+
+def test_auto_picks_vector_when_available(monkeypatch):
+    monkeypatch.delenv(ACCEL_ENV, raising=False)
+    assert vector_unavailable_reason() == ""  # CI hosts are little-endian
+    assert resolve_backend("auto").name == "vector"
+
+
+def test_auto_degrades_silently_when_unavailable(monkeypatch):
+    monkeypatch.setattr(
+        accel_mod, "vector_unavailable_reason", lambda: "no numpy here"
+    )
+    assert resolve_backend("auto").name == "pure"
+
+
+def test_forced_vector_raises_when_unavailable(monkeypatch):
+    monkeypatch.setattr(
+        accel_mod, "vector_unavailable_reason", lambda: "no numpy here"
+    )
+    with pytest.raises(AccelUnavailableError) as exc_info:
+        resolve_backend("vector")
+    err = exc_info.value
+    assert err.backend == "vector"
+    assert "no numpy here" in str(err)
+    assert isinstance(err, ReproError)  # catchable with the family base
+
+
+def test_forced_unavailable_is_reported_not_raised(monkeypatch):
+    monkeypatch.setenv(ACCEL_ENV, "vector")
+    monkeypatch.setattr(
+        accel_mod, "vector_unavailable_reason", lambda: "no numpy here"
+    )
+    assert default_backend_name() == "vector (unavailable)"
+
+
+def test_unknown_backend_name_rejected():
+    with pytest.raises(ValueError, match="unknown accel backend"):
+        resolve_backend("cuda")
+
+
+def test_available_backends_lists_pure_first():
+    names = available_backends()
+    assert names[0] == "pure"
+    assert set(names) <= {"pure", "vector"}
+
+
+def test_backends_are_singletons():
+    assert resolve_backend("pure") is resolve_backend("pure")
+    assert resolve_backend("vector") is resolve_backend("vector")
+
+
+def test_htm_config_validates_accel_values():
+    for name in ("", "pure", "vector", "auto"):
+        assert HTMConfig(accel=name).accel == name
+    with pytest.raises(ValueError):
+        HTMConfig(accel="cuda")
+
+
+def test_simulator_honours_config_accel(monkeypatch):
+    from repro.config import SimConfig
+    from repro.simulator import Simulator
+
+    monkeypatch.delenv(ACCEL_ENV, raising=False)
+    config = SimConfig(n_cores=2, htm=HTMConfig(accel="vector"))
+    sim = Simulator(config=config, scheme="suv")
+    assert sim.accel.name == "vector"
+    assert sim._sig_pool is not None
+    # default stays pure, and pure runs have no row pool
+    sim = Simulator(config=SimConfig(n_cores=2), scheme="suv")
+    assert sim.accel.name == "pure"
+    assert sim._sig_pool is None
